@@ -1,0 +1,87 @@
+"""Ablations on MadPipe's design choices (DESIGN.md experiment index).
+
+1. *Special processor on/off* — how much of MadPipe's advantage comes
+   from non-contiguous allocations vs from accurate memory accounting.
+2. *Discretization granularity* — solution quality and runtime across
+   the coarse / default / paper grids of §5.1.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _util import write_figure
+
+from repro.algorithms import Discretization, madpipe
+from repro.core import Platform
+from repro.experiments import paper_chain
+
+SCENARIOS = [(4, 8.0), (2, 10.0), (8, 14.0), (8, 16.0)]
+
+
+def test_ablation_special_processor(benchmark):
+    chain = paper_chain("resnet50")
+    lines = [
+        "Ablation: special processor (ResNet-50, beta = 12 GB/s)",
+        f"{'P':>3} {'M (GB)':>7} {'full MadPipe':>13} {'contiguous only':>16}",
+    ]
+
+    def run_all():
+        rows = []
+        for p, m in SCENARIOS:
+            plat = Platform.of(p, m, 12)
+            full = madpipe(
+                chain, plat, grid=Discretization.coarse(), iterations=8,
+                ilp_time_limit=30,
+            )
+            contig = madpipe(
+                chain, plat, grid=Discretization.coarse(), iterations=8,
+                ilp_time_limit=30, allow_special=False,
+            )
+            rows.append((p, m, full.period, contig.period))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for p, m, full, contig in rows:
+        lines.append(f"{p:3d} {m:7g} {full:13.4f} {contig:16.4f}")
+        # the special processor can only help
+        assert full <= contig * 1.02
+    text = "\n".join(lines)
+    print()
+    print(text)
+    write_figure("ablation_special.txt", text)
+
+
+def test_ablation_discretization(benchmark):
+    chain = paper_chain("resnet50")
+    plat = Platform.of(4, 8, 12)
+    grids = [
+        ("coarse", Discretization.coarse()),
+        ("default", Discretization.default()),
+        ("paper", Discretization.paper()),
+    ]
+    lines = [
+        "Ablation: DP grid granularity (ResNet-50, P=4, M=8 GB)",
+        f"{'grid':>8} {'points (t x m x v)':>20} {'period':>8} {'runtime':>9}",
+    ]
+
+    def run_all():
+        rows = []
+        for name, grid in grids:
+            t0 = time.perf_counter()
+            res = madpipe(chain, plat, grid=grid, iterations=8, ilp_time_limit=30)
+            rows.append((name, grid, res.period, time.perf_counter() - t0))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    periods = {}
+    for name, grid, period, dt in rows:
+        pts = f"{grid.n_t}x{grid.n_m}x{grid.n_v}"
+        lines.append(f"{name:>8} {pts:>20} {period:8.4f} {dt:8.1f}s")
+        periods[name] = period
+    # finer grids never hurt solution quality by much
+    assert periods["paper"] <= periods["coarse"] * 1.05
+    text = "\n".join(lines)
+    print()
+    print(text)
+    write_figure("ablation_grid.txt", text)

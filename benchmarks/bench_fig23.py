@@ -1,0 +1,64 @@
+"""Figs. 2-3 — example valid patterns and the 1F1B* group structure.
+
+The paper's Figs. 2 and 3 are illustrative periodic patterns.  This
+bench regenerates the same *kind* of artifact on a concrete chain: the
+optimal 1F1B* pattern of a 4-stage contiguous partitioning, rendered as
+a Gantt chart with index shifts, plus the group assignment — and checks
+the paper's structural claims (forwards share one shift, backwards carry
+``shift + group − 1``, stages in group g hold g activation copies).
+"""
+
+from __future__ import annotations
+
+from _util import write_figure
+
+from repro.algorithms.onef1b import (
+    assign_groups,
+    extended_items,
+    min_feasible_period,
+)
+from repro.core import Allocation, Partitioning, Platform
+from repro.models import random_chain
+from repro.viz import render_gantt
+
+
+def test_fig23_pattern_example(benchmark):
+    chain = random_chain(16, seed=7, decay=0.15, name="cnnlike16")
+    platform = Platform.of(4, 1.0, 12)
+    part = Partitioning.from_cuts(16, [4, 8, 12])
+
+    res = benchmark.pedantic(
+        min_feasible_period, args=(chain, platform, part), rounds=3, iterations=1
+    )
+    assert res is not None
+    pattern = res.pattern
+    pattern.validate(chain, platform)
+
+    alloc = Allocation.contiguous(part)
+    items = extended_items(chain, platform, alloc)
+    groups = assign_groups(items, res.period)
+
+    lines = [
+        "Figs. 2-3 analogue: optimal 1F1B* pattern (4 stages + 3 comms)",
+        f"groups (chain order): "
+        + " ".join(f"{it.kind}{it.index}:g{g}" for it, g in zip(items, groups)),
+        "",
+        render_gantt(pattern, width=100),
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    write_figure("fig23.txt", text)
+
+    # structural claims of §4.1
+    for it, g in zip(items, groups):
+        if it.kind != "stage":
+            continue
+        f = pattern.ops[("F", it.index)]
+        b = pattern.ops[("B", it.index)]
+        stored = max(
+            pattern.active_batches(it.index, f.start),
+            pattern.active_batches(it.index, f.start + 1e-9),
+        )
+        assert stored == g
+        assert b.shift - f.shift in (g - 1, g)  # wrap may add one period

@@ -1,0 +1,50 @@
+"""Fig. 6 — period vs memory for ResNet-50 (paper §5.2).
+
+Regenerates the four series of each (P, β) panel: PipeDream's DP estimate
+and valid 1F1B* schedule, MadPipe's phase-1 estimate and valid schedule.
+The benchmarked unit is one full MadPipe run on the P=4, M=8 GB panel
+point (the representative single-instance cost of the figure).
+"""
+
+from __future__ import annotations
+
+from _util import write_figure
+
+from repro.algorithms import Discretization, madpipe
+from repro.core import Platform
+from repro.experiments import fig6_data, paper_chain, render_fig6
+
+
+def test_fig6_resnet50(benchmark, paper_results):
+    chain = paper_chain("resnet50")
+    platform = Platform.of(4, 8, 12)
+
+    def run_one_instance():
+        return madpipe(
+            chain,
+            platform,
+            grid=Discretization.coarse(),
+            iterations=8,
+            ilp_time_limit=30,
+        )
+
+    result = benchmark.pedantic(run_one_instance, rounds=1, iterations=1)
+    assert result.feasible
+
+    panels = fig6_data(paper_results, "resnet50")
+    assert panels, "no resnet50 results available"
+    text = render_fig6(panels)
+    print()
+    print(text)
+    write_figure("fig6.txt", text)
+
+    # shape assertions from the paper: with roomy memory both solve, and
+    # PipeDream's optimistic DP line sits at or below its valid schedule
+    for panel in panels:
+        for i, m in enumerate(panel.memories_gb):
+            if panel.pipedream_valid[i] != float("inf"):
+                assert panel.pipedream_valid[i] >= panel.pipedream_dp[i] - 1e-9
+        # MadPipe is feasible wherever PipeDream is
+        for i in range(len(panel.memories_gb)):
+            if panel.pipedream_valid[i] != float("inf"):
+                assert panel.madpipe_valid[i] != float("inf")

@@ -1,0 +1,38 @@
+"""Fig. 8 — speedup vs number of GPUs (paper §5.2).
+
+Speedup is ``U(1,L) / period`` against the sequential execution.  The
+paper's claims: good scalability at M ∈ {12, 16} GB, degraded speedup
+when memory is tight, and MadPipe scaling better than PipeDream.
+"""
+
+from __future__ import annotations
+
+from _util import write_figure
+
+from repro.experiments import fig8_data, render_fig8
+
+
+def test_fig8_speedups(benchmark, paper_results):
+    data = benchmark.pedantic(
+        fig8_data, args=(paper_results,), rounds=1, iterations=1
+    )
+    assert data
+    text = render_fig8(data)
+    print()
+    print(text)
+    write_figure("fig8.txt", text)
+
+    # shape: for every network, MadPipe speedup at the roomiest memory is
+    # non-trivial (> 1.2 at the largest P) and no worse than at the
+    # tightest memory
+    networks = {k[0] for k in data}
+    for net in networks:
+        mems = sorted({k[1] for k in data if k[0] == net and k[2] == "madpipe"})
+        if not mems:
+            continue
+        roomy = dict(data[(net, mems[-1], "madpipe")])
+        tight = dict(data[(net, mems[0], "madpipe")])
+        p_max = max(roomy)
+        assert roomy[p_max] > 1.2, f"{net}: no scaling at M={mems[-1]}"
+        if p_max in tight:
+            assert roomy[p_max] >= tight[p_max] - 1e-9

@@ -1,0 +1,63 @@
+"""Substrate benchmarks: model building, profiling and linearization.
+
+Not a paper table — measures the cost of the profiling substrate that
+stands in for PyTorch measurements (§5.1), and records the chain sizes
+it produces for each paper network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import write_figure
+
+from repro.models import densenet121, inception, linearize, resnet50, resnet101
+from repro.profiling import V100, profile_model
+
+BUILDERS = {
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "inception": inception,
+    "densenet121": densenet121,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_profile_and_linearize(benchmark, name):
+    def run():
+        graph = BUILDERS[name](image_size=1000)
+        profile_model(graph, V100, 8)
+        return linearize(graph)
+
+    chain = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert chain.L > 10
+    assert chain.total_compute() > 0
+
+
+def test_chain_size_table(benchmark):
+    def run():
+        rows = []
+        for name, builder in sorted(BUILDERS.items()):
+            graph = builder(image_size=1000)
+            profile_model(graph, V100, 8)
+            chain = linearize(graph)
+            rows.append(
+                f"{name:>12} {len(graph):6d} {chain.L:5d} "
+                f"{chain.total_compute():9.4f} "
+                f"{chain.weights(1, chain.L) / 2**30:8.2f} "
+                f"{chain.stored_activations(1, chain.L) / 2**30:9.2f}"
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        [
+            "Paper networks at 1000x1000, batch 8",
+            f"{'network':>12} {'nodes':>6} {'L':>5} {'U (s)':>9} "
+            f"{'W (GiB)':>8} {'acts (GiB)':>9}",
+            *rows,
+        ]
+    )
+    print()
+    print(text)
+    write_figure("model_zoo.txt", text)

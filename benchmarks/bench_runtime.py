@@ -1,0 +1,63 @@
+"""Optimizer runtime benchmarks (paper §5.1: "several seconds for the
+smaller networks, up to 15 minutes for the large networks").
+
+These are real pytest-benchmark measurements of the algorithm building
+blocks on the paper's profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import Discretization, madpipe_dp, min_feasible_period, pipedream
+from repro.algorithms.pipedream import pipedream_partition
+from repro.core import Platform
+from repro.experiments import paper_chain
+from repro.ilp import schedule_allocation
+
+PLATFORM = Platform.of(4, 8, 12)
+
+
+@pytest.fixture(scope="module")
+def resnet50_chain():
+    return paper_chain("resnet50")
+
+
+def test_pipedream_dp_runtime(benchmark, resnet50_chain):
+    part, dp = benchmark(pipedream_partition, resnet50_chain, PLATFORM)
+    assert part is not None
+
+
+def test_onef1b_runtime(benchmark, resnet50_chain):
+    part, _ = pipedream_partition(resnet50_chain, PLATFORM)
+    res = benchmark(min_feasible_period, resnet50_chain, PLATFORM, part)
+    assert res is not None
+
+
+def test_madpipe_dp_single_call_runtime(benchmark, resnet50_chain):
+    target = resnet50_chain.total_compute() / 3
+
+    def run():
+        return madpipe_dp(
+            resnet50_chain, PLATFORM, target, grid=Discretization.coarse()
+        )
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.feasible
+
+
+def test_ilp_schedule_runtime(benchmark, resnet50_chain):
+    from repro.algorithms import algorithm1
+
+    phase1 = algorithm1(
+        resnet50_chain, PLATFORM, iterations=8, grid=Discretization.coarse()
+    )
+    alloc = phase1.allocation.to_allocation(PLATFORM)
+
+    def run():
+        return schedule_allocation(
+            resnet50_chain, PLATFORM, alloc, time_limit=30
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.feasible or alloc.is_contiguous()

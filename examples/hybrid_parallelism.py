@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Hybrid data + model parallelism (the paper's §6 perspective).
+
+Splits P GPUs into G groups of r replicas: data parallelism shards the
+batch inside each group (activations shrink, gradients pay a ring
+all-reduce), while MadPipe pipelines the stages across groups.  The
+sweet spot depends on the network: weight-heavy models hate all-reduce,
+activation-heavy models love sharding.
+
+Run:  python examples/hybrid_parallelism.py
+"""
+
+from repro import Discretization, Platform
+from repro.algorithms import hybrid
+from repro.experiments import paper_chain
+
+
+def main() -> None:
+    platform = Platform.of(n_procs=8, memory_gb=8, bandwidth_gbps=12)
+    for network in ("resnet50", "inception"):
+        chain = paper_chain(network)
+        print(f"\n{network}: U = {chain.total_compute():.3f}s on {platform}")
+        res = hybrid(
+            chain,
+            platform,
+            grid=Discretization.coarse(),
+            iterations=6,
+            ilp_time_limit=20,
+        )
+        print(f"{'r (replicas)':>13} {'groups':>7} {'period (s)':>11}")
+        for r, period in res.sweep:
+            mark = "  <- best" if r == res.group_size else ""
+            txt = f"{period:.4f}" if period != float("inf") else "infeasible"
+            print(f"{r:13d} {platform.n_procs // r:7d} {txt:>11}{mark}")
+        print(
+            f"best: {res.n_groups} pipeline groups of {res.group_size} "
+            f"replicas, period {res.period:.4f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Capacity planning: how much GPU memory does a target throughput need?
+
+A downstream-user scenario built on the experiment harness: sweep the
+per-GPU memory for a chosen network and processor count, and report
+achieved throughput (images/s at the profiled batch size), the pipeline
+structure, and where memory stops being the bottleneck.
+
+Run:  python examples/memory_sweep.py [network] [P]
+      python examples/memory_sweep.py densenet121 4
+"""
+
+import sys
+
+from repro import Discretization, Platform
+from repro.experiments import paper_chain, run_instance
+
+BATCH = 8  # images per mini-batch in the paper profiles
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "inception"
+    procs = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    chain = paper_chain(network)
+    seq = chain.total_compute()
+    print(
+        f"{network} on {procs} GPUs (beta = 12 GB/s); sequential throughput "
+        f"{BATCH / seq:.1f} img/s"
+    )
+    print(
+        f"{'M (GB)':>7} {'period (s)':>11} {'img/s':>8} {'speedup':>8} "
+        f"{'stages':>7} {'optimizer time':>15}"
+    )
+    best = None
+    for mem_gb in (3, 4, 6, 8, 10, 12, 14, 16):
+        r = run_instance(
+            chain,
+            Platform.of(procs, mem_gb, 12),
+            "madpipe",
+            network=network,
+            grid=Discretization.coarse(),
+            iterations=8,
+            ilp_time_limit=30,
+        )
+        if not r.feasible:
+            print(f"{mem_gb:7d} {'infeasible':>11}")
+            continue
+        print(
+            f"{mem_gb:7d} {r.valid_period:11.4f} {BATCH / r.valid_period:8.1f} "
+            f"{r.speedup:7.2f}x {r.n_stages:7d} {r.runtime_s:14.1f}s"
+        )
+        if best is None or r.valid_period < best.valid_period * 0.995:
+            best = r
+    if best is not None:
+        print(
+            f"\nmemory stops paying off around M = {best.memory_gb:g} GB "
+            f"(period {best.valid_period:.4f}s, {best.speedup:.2f}x speedup)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's flagship scenario: ResNet-50 on 1000x1000 images, batch 8.
+
+Such large activations make single-GPU training impossible (the one-copy
+footprint alone is ~8.5 GB before any pipelining) — exactly the regime
+pipelined model parallelism targets.  This example reproduces one column
+of the paper's Fig. 6: P = 8 GPUs at 12 GB/s, sweeping the memory limit,
+and prints where each algorithm's schedule spends its memory.
+
+Run:  python examples/resnet50_pipeline.py          (takes a few minutes)
+"""
+
+from repro import (
+    Discretization,
+    Platform,
+    V100,
+    linearize,
+    madpipe,
+    pipedream,
+    profile_model,
+    resnet50,
+)
+from repro.core import GB
+
+
+def describe_memory(label: str, pattern, chain) -> None:
+    peaks = pattern.memory_peaks(chain)
+    pretty = ", ".join(f"gpu{p}={m / GB:.1f}" for p, m in sorted(peaks.items()))
+    print(f"    {label} peak memory (GiB): {pretty}")
+
+
+def main() -> None:
+    graph = resnet50(image_size=1000)
+    profile_model(graph, V100, batch_size=8)
+    chain = linearize(graph)
+    seq = chain.total_compute()
+    print(
+        f"ResNet-50 @1000px batch 8: {chain.L} chain layers, "
+        f"sequential batch time {seq:.3f}s, "
+        f"single-copy footprint {(3 * chain.weights(1, chain.L) + chain.stored_activations(1, chain.L)) / GB:.1f} GiB"
+    )
+    print(f"{'M (GB)':>7} {'PipeDream':>12} {'MadPipe':>12} {'speedup':>8}")
+
+    for mem_gb in (4, 6, 8, 12, 16):
+        platform = Platform.of(8, mem_gb, 12)
+        pd = pipedream(chain, platform)
+        mp = madpipe(
+            chain,
+            platform,
+            grid=Discretization.coarse(),
+            iterations=8,
+            ilp_time_limit=30,
+        )
+        pd_txt = f"{pd.period:.4f}" if pd.feasible else "infeasible"
+        mp_txt = f"{mp.period:.4f}" if mp.feasible else "infeasible"
+        ratio = (
+            f"{pd.period / mp.period:5.2f}x"
+            if pd.feasible and mp.feasible
+            else "-"
+        )
+        print(f"{mem_gb:7d} {pd_txt:>12} {mp_txt:>12} {ratio:>8}")
+        if mp.feasible:
+            describe_memory("MadPipe", mp.pattern, chain)
+
+    print(
+        "\nNote: MadPipe stays feasible below PipeDream's memory floor, and "
+        "wins clearly where PipeDream's optimistic memory estimate backfires "
+        "(the non-monotonic PipeDream column; paper §5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

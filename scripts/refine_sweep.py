@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Refine cached MadPipe results with a finer DP grid.
+
+Re-runs selected instances of ``results/paper_grid.json`` at
+``Discretization.default()`` and keeps whichever valid period is better,
+so a coarse first sweep can be polished incrementally.
+
+Usage::
+
+    python scripts/refine_sweep.py [network ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.algorithms import Discretization
+from repro.core import Platform
+from repro.experiments import ResultCache, paper_chain, run_instance
+
+
+def main() -> int:
+    networks = sys.argv[1:] or ["resnet101", "resnet50"]
+    cache = ResultCache("results/paper_grid.json")
+    todo = [
+        r
+        for r in sorted(cache._data.values(), key=lambda r: r.key)
+        if r.network in networks and r.algorithm == "madpipe"
+    ]
+    print(f"refining {len(todo)} instances")
+    improved = 0
+    for old in todo:
+        chain = paper_chain(old.network)
+        platform = Platform.of(
+            old.n_procs, old.memory_gb, old.bandwidth_gbps
+        )
+        new = run_instance(
+            chain,
+            platform,
+            "madpipe",
+            network=old.network,
+            grid=Discretization.default(),
+            iterations=10,
+            ilp_time_limit=30.0,
+        )
+        if new.valid_period < old.valid_period:
+            cache.put(new)
+            improved += 1
+            print(
+                f"{old.network} P={old.n_procs} M={old.memory_gb:g} "
+                f"b={old.bandwidth_gbps:g}: {old.valid_period:.4f} -> "
+                f"{new.valid_period:.4f}"
+            )
+    print(f"improved {improved}/{len(todo)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Run the full paper evaluation grid (§5) and cache results to JSON.
+
+Produces ``results/paper_grid.json`` with every (network, P, M, β,
+algorithm) instance needed by Figs. 6, 7 and 8.  Instances already in the
+cache are skipped, so the sweep is resumable.
+
+Usage::
+
+    python scripts/run_paper_sweep.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms import Discretization
+from repro.experiments import (
+    FIG8_PROCS,
+    PAPER_BANDWIDTHS_GBPS,
+    PAPER_MEMORIES_GB,
+    PAPER_NETWORKS,
+    PAPER_PROCS,
+    ResultCache,
+    run_grid,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced grid for quick checks"
+    )
+    parser.add_argument(
+        "--out", default="results/paper_grid.json", help="cache file path"
+    )
+    args = parser.parse_args()
+
+    Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+    cache = ResultCache(args.out)
+    grid = Discretization.coarse()
+    kwargs = dict(
+        grid=grid, iterations=8, ilp_time_limit=30.0, cache=cache, verbose=True
+    )
+
+    t0 = time.time()
+    if args.fast:
+        run_grid(("resnet50",), (2, 4), (4.0, 8.0, 16.0), (12.0,), **kwargs)
+    else:
+        # Figs. 6 & 7: full (network, P, M, beta) grid
+        run_grid(
+            PAPER_NETWORKS,
+            PAPER_PROCS,
+            tuple(float(m) for m in PAPER_MEMORIES_GB),
+            tuple(float(b) for b in PAPER_BANDWIDTHS_GBPS),
+            **kwargs,
+        )
+        # Fig. 8: intermediate processor counts at beta = 12
+        extra_procs = tuple(p for p in FIG8_PROCS if p not in PAPER_PROCS)
+        run_grid(
+            PAPER_NETWORKS,
+            extra_procs,
+            (4.0, 8.0, 12.0, 16.0),
+            (12.0,),
+            **kwargs,
+        )
+    print(f"sweep done in {time.time() - t0:.0f}s, {len(cache)} cached instances")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

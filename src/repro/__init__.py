@@ -1,0 +1,105 @@
+"""MadPipe reproduction — memory-aware pipelined model parallelism.
+
+Public API tour::
+
+    from repro import (
+        Chain, Platform, madpipe, pipedream, min_feasible_period,
+        resnet50, linearize, profile_model, V100, verify_pattern,
+    )
+
+    graph = resnet50(image_size=1000)
+    profile_model(graph, V100, batch_size=8)
+    chain = linearize(graph)
+    platform = Platform.of(n_procs=4, memory_gb=8, bandwidth_gbps=12)
+
+    result = madpipe(chain, platform)
+    print(result.period, result.allocation)
+    verify_pattern(chain, platform, result.pattern)
+"""
+
+from .algorithms import (
+    Discretization,
+    MadPipeResult,
+    PipeDreamResult,
+    algorithm1,
+    gpipe,
+    hybrid,
+    madpipe,
+    madpipe_dp,
+    min_feasible_period,
+    pipedream,
+)
+from .core import (
+    GB,
+    GBPS,
+    Allocation,
+    Chain,
+    LayerProfile,
+    Partitioning,
+    PatternError,
+    PeriodicPattern,
+    Platform,
+    Stage,
+    stage_memory,
+)
+from .ilp import schedule_allocation
+from .models import (
+    coarsen,
+    densenet121,
+    inception,
+    linearize,
+    random_chain,
+    resnet50,
+    resnet101,
+    uniform_chain,
+    vgg16,
+)
+from .profiling import V100, DeviceSpec, load_chain, profile_model, save_chain
+from .sim import eager_1f1b, simulate, verify_pattern
+from .viz import render_gantt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Discretization",
+    "MadPipeResult",
+    "PipeDreamResult",
+    "algorithm1",
+    "gpipe",
+    "hybrid",
+    "madpipe",
+    "madpipe_dp",
+    "min_feasible_period",
+    "pipedream",
+    "GB",
+    "GBPS",
+    "Allocation",
+    "Chain",
+    "LayerProfile",
+    "Partitioning",
+    "PatternError",
+    "PeriodicPattern",
+    "Platform",
+    "Stage",
+    "stage_memory",
+    "schedule_allocation",
+    "coarsen",
+    "densenet121",
+    "inception",
+    "linearize",
+    "random_chain",
+    "resnet50",
+    "resnet101",
+    "uniform_chain",
+    "vgg16",
+    "V100",
+    "DeviceSpec",
+    "load_chain",
+    "profile_model",
+    "save_chain",
+    "eager_1f1b",
+    "simulate",
+    "verify_pattern",
+    "render_gantt",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Scheduling algorithms: 1F1B*, PipeDream baseline, MadPipe, GPipe."""
+
+from .advisor import BatchAdvice, max_feasible_batch
+from .bruteforce import BruteForceResult, best_contiguous, best_special
+from .gpipe import GPipeResult, gpipe, gpipe_period
+from .hybrid import HybridResult, group_sizes, hybrid, scale_chain_for_group
+from .madpipe import MadPipeResult, madpipe
+from .madpipe_dp import (
+    Algorithm1Result,
+    Discretization,
+    DPAllocation,
+    MadPipeDPResult,
+    algorithm1,
+    madpipe_dp,
+)
+from .onef1b import OneF1BResult, build_pattern, min_feasible_period
+from .pipedream import PipeDreamResult, pipedream, pipedream_partition
+
+__all__ = [
+    "BatchAdvice",
+    "max_feasible_batch",
+    "BruteForceResult",
+    "best_contiguous",
+    "best_special",
+    "GPipeResult",
+    "HybridResult",
+    "group_sizes",
+    "hybrid",
+    "scale_chain_for_group",
+    "gpipe",
+    "gpipe_period",
+    "MadPipeResult",
+    "madpipe",
+    "Algorithm1Result",
+    "Discretization",
+    "DPAllocation",
+    "MadPipeDPResult",
+    "algorithm1",
+    "madpipe_dp",
+    "OneF1BResult",
+    "build_pattern",
+    "min_feasible_period",
+    "PipeDreamResult",
+    "pipedream",
+    "pipedream_partition",
+]

@@ -1,0 +1,91 @@
+"""Capacity advisor: largest schedulable batch size on a platform.
+
+Activation sizes (and with them the memory pressure) grow linearly with
+the mini-batch, so the largest batch for which a memory-feasible schedule
+exists is found by bisection over the batch axis.  The caller supplies a
+``chain_for_batch`` callable (typically re-profiling the model zoo graph
+at each probe) so the advisor stays agnostic of where profiles come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.chain import Chain
+from ..core.platform import Platform
+from .madpipe import MadPipeResult, madpipe
+from .madpipe_dp import Discretization
+
+__all__ = ["BatchAdvice", "max_feasible_batch"]
+
+
+@dataclass
+class BatchAdvice:
+    """Outcome of the batch-size search."""
+
+    batch_size: int
+    result: MadPipeResult | None
+    probes: list[tuple[int, bool]] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.result is not None and self.result.feasible
+
+    @property
+    def samples_per_second(self) -> float:
+        if not self.feasible:
+            return 0.0
+        return self.batch_size / self.result.period
+
+
+def max_feasible_batch(
+    chain_for_batch: Callable[[int], Chain],
+    platform: Platform,
+    *,
+    max_batch: int = 256,
+    grid: Discretization | None = None,
+    iterations: int = 6,
+    ilp_time_limit: float = 20.0,
+) -> BatchAdvice:
+    """Largest ``b ≤ max_batch`` with a memory-feasible MadPipe schedule.
+
+    Feasibility is monotone in the batch size for fixed weights (bigger
+    batches only add activation bytes), so plain bisection applies.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+
+    def probe(b: int) -> MadPipeResult:
+        return madpipe(
+            chain_for_batch(b),
+            platform,
+            grid=grid,
+            iterations=iterations,
+            ilp_time_limit=ilp_time_limit,
+        )
+
+    advice = BatchAdvice(batch_size=0, result=None)
+    res = probe(1)
+    advice.probes.append((1, res.feasible))
+    if not res.feasible:
+        return advice
+    advice.batch_size, advice.result = 1, res
+
+    lo, hi = 1, max_batch
+    res = probe(max_batch)
+    advice.probes.append((max_batch, res.feasible))
+    if res.feasible:
+        advice.batch_size, advice.result = max_batch, res
+        return advice
+
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        res = probe(mid)
+        advice.probes.append((mid, res.feasible))
+        if res.feasible:
+            lo = mid
+            advice.batch_size, advice.result = mid, res
+        else:
+            hi = mid
+    return advice

@@ -1,0 +1,121 @@
+"""Hybrid data + model parallelism (paper §1 and §6).
+
+The paper's stated perspective: use model parallelism to split the
+platform into ``G`` groups of ``r = P / G`` GPUs, run data parallelism
+*inside* each group, and let MadPipe place the stages across groups.
+Each collective then involves only ``r`` GPUs and ``1/G`` of the
+weights, sidestepping the scalability wall of flat data parallelism.
+
+We model a group of ``r`` replicas processing a mini-batch of size
+``B`` as a *virtual worker* seen by the chain scheduler:
+
+* compute: each replica handles ``B/r`` samples — ``u_F``/``u_B`` scale
+  by ``1/r``;
+* activations: sharded — per-GPU activation sizes (storage *and*
+  inter-stage transfers) scale by ``1/r``;
+* weights: fully replicated — ``W`` is unchanged, and every mini-batch
+  pays a ring all-reduce of the gradients inside the group,
+  ``2·W·(r−1)/(r·β)`` per layer, charged to the backward time;
+* memory: the per-GPU capacity is unchanged.
+
+``hybrid`` sweeps the divisors of ``P`` and returns the best
+(group size, MadPipe schedule) combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.chain import Chain, LayerProfile
+from ..core.platform import Platform
+from .madpipe import MadPipeResult, madpipe
+from .madpipe_dp import Discretization
+
+__all__ = ["HybridResult", "scale_chain_for_group", "group_sizes", "hybrid"]
+
+INF = float("inf")
+
+
+def scale_chain_for_group(chain: Chain, group_size: int, bandwidth: float) -> Chain:
+    """The chain one *virtual worker* (a data-parallel group of
+    ``group_size`` replicas) presents to the pipeline scheduler."""
+    if group_size < 1:
+        raise ValueError("group size must be >= 1")
+    r = group_size
+    if r == 1:
+        return chain
+    allreduce = 2.0 * (r - 1) / (r * bandwidth)
+    layers = [
+        LayerProfile(
+            name=l.name,
+            u_f=l.u_f / r,
+            u_b=l.u_b / r + l.weights * allreduce,
+            weights=l.weights,
+            activation=l.activation / r,
+        )
+        for l in chain.layers
+    ]
+    return Chain(
+        layers,
+        input_activation=chain.input_activation / r,
+        name=f"{chain.name}/dp{r}",
+    )
+
+
+def group_sizes(n_procs: int) -> list[int]:
+    """Divisors of ``P`` — the candidate data-parallel group sizes."""
+    return [r for r in range(1, n_procs + 1) if n_procs % r == 0]
+
+
+@dataclass
+class HybridResult:
+    """Best hybrid configuration plus the full sweep table."""
+
+    group_size: int
+    n_groups: int
+    period: float
+    inner: MadPipeResult | None
+    sweep: list[tuple[int, float]] = field(default_factory=list)  # (r, period)
+
+    @property
+    def feasible(self) -> bool:
+        return self.inner is not None and self.inner.feasible
+
+
+def hybrid(
+    chain: Chain,
+    platform: Platform,
+    *,
+    grid: Discretization | None = None,
+    iterations: int = 8,
+    ilp_time_limit: float = 30.0,
+) -> HybridResult:
+    """Sweep group sizes and schedule each virtual-worker chain with
+    MadPipe; return the configuration with the smallest per-batch period.
+
+    ``r = P`` is flat data parallelism (one stage, all-reduce over all
+    GPUs); ``r = 1`` is pure pipelined model parallelism.
+    """
+    best = HybridResult(group_size=0, n_groups=0, period=INF, inner=None)
+    for r in group_sizes(platform.n_procs):
+        virtual = Platform(
+            n_procs=platform.n_procs // r,
+            memory=platform.memory,
+            bandwidth=platform.bandwidth,
+        )
+        scaled = scale_chain_for_group(chain, r, platform.bandwidth)
+        res = madpipe(
+            scaled,
+            virtual,
+            grid=grid,
+            iterations=iterations,
+            ilp_time_limit=ilp_time_limit,
+        )
+        period = res.period if res.feasible else INF
+        best.sweep.append((r, period))
+        if period < best.period:
+            best.group_size = r
+            best.n_groups = platform.n_procs // r
+            best.period = period
+            best.inner = res
+    return best

@@ -1,0 +1,120 @@
+"""MadPipe — the complete two-phase algorithm (paper §4).
+
+Phase 1 (:func:`repro.algorithms.madpipe_dp.algorithm1`) builds a
+non-contiguous allocation with one special processor by binary-searching
+the target period of the memory-aware dynamic program.
+
+Phase 2 schedules the resulting stage partition exactly:
+
+* contiguous allocations go through the optimal 1F1B\\* construction;
+* non-contiguous allocations go through the periodic-pattern MILP
+  (:mod:`repro.ilp`) with the paper's one-minute budget per probe.
+
+Because the DP's special-processor memory is a deliberate
+*under*-estimate (§4.2.1), the ILP sometimes needs a much larger period
+than phase 1 promised.  MadPipe therefore also evaluates its own
+contiguous restriction — MadPipe-DP with the special processor disabled,
+which collapses the ``(t_P, m_P)`` state dimensions and is nearly free —
+schedules it with 1F1B\\*, and returns whichever valid schedule is
+faster.  Set ``contiguous_fallback=False`` for the strict
+phase-1+ILP-only behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.chain import Chain
+from ..core.partition import Allocation
+from ..core.pattern import PeriodicPattern
+from ..core.platform import Platform
+from ..ilp.solver import schedule_allocation
+from .madpipe_dp import Algorithm1Result, Discretization, algorithm1
+from .onef1b import min_feasible_period
+
+__all__ = ["MadPipeResult", "madpipe"]
+
+INF = float("inf")
+
+
+@dataclass
+class MadPipeResult:
+    """Full MadPipe outcome.
+
+    ``dp_period`` is phase 1's estimate (the dashed line of Fig. 6);
+    ``period`` is the certified valid-schedule period (the solid line).
+    """
+
+    phase1: Algorithm1Result
+    allocation: Allocation | None
+    pattern: PeriodicPattern | None
+    period: float = INF
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def dp_period(self) -> float:
+        return self.phase1.period
+
+    @property
+    def feasible(self) -> bool:
+        return self.pattern is not None
+
+
+def madpipe(
+    chain: Chain,
+    platform: Platform,
+    *,
+    iterations: int = 10,
+    grid: Discretization | None = None,
+    ilp_time_limit: float = 60.0,
+    allow_special: bool = True,
+    contiguous_fallback: bool = True,
+) -> MadPipeResult:
+    """Run the complete MadPipe pipeline on one (chain, platform) instance."""
+    phase1 = algorithm1(
+        chain, platform, iterations=iterations, grid=grid, allow_special=allow_special
+    )
+    result = MadPipeResult(phase1=phase1, allocation=None, pattern=None)
+
+    if phase1.feasible:
+        allocation = phase1.allocation.to_allocation(platform)
+        if allocation.is_contiguous():
+            # 1F1B* is optimal for contiguous allocations — no ILP needed
+            sched = min_feasible_period(chain, platform, allocation.partitioning)
+            if sched is not None:
+                result.allocation = allocation
+                result.pattern = sched.pattern
+                result.period = sched.period
+                result.notes.append("phase-1 contiguous allocation via 1F1B*")
+            else:
+                result.notes.append("1F1B* infeasible for phase-1 allocation")
+        else:
+            ilp = schedule_allocation(
+                chain, platform, allocation, time_limit=ilp_time_limit
+            )
+            if ilp.feasible:
+                result.allocation = allocation
+                result.pattern = ilp.pattern
+                result.period = ilp.period
+                result.notes.append("phase-1 non-contiguous allocation via ILP")
+            else:
+                result.notes.append("ILP could not schedule phase-1 allocation")
+    else:
+        result.notes.append("phase 1 found no memory-feasible allocation")
+
+    if contiguous_fallback and allow_special:
+        # MadPipe's contiguous restriction (no special processor): the DP's
+        # memory model is exact for 1F1B*, so this candidate's estimate is
+        # reliable; keep it when it beats the ILP schedule.
+        contig = algorithm1(
+            chain, platform, iterations=iterations, grid=grid, allow_special=False
+        )
+        if contig.feasible:
+            alloc = contig.allocation.to_allocation(platform)
+            sched = min_feasible_period(chain, platform, alloc.partitioning)
+            if sched is not None and sched.period < result.period:
+                result.allocation = alloc
+                result.pattern = sched.pattern
+                result.period = sched.period
+                result.notes.append("contiguous memory-aware candidate won")
+    return result

@@ -1,0 +1,333 @@
+"""MadPipe phase 1 — memory-aware DP for non-contiguous allocations (§4.2).
+
+The dynamic program allocates the chain back-to-front into stages.  All
+processors are *normal* (one stage each) except one *special* processor
+that may receive any number of stages.  The state is
+
+``T(l, p, t_P, m_P, V)`` — the smallest achievable period for the first
+``l`` layers on ``p`` remaining normal processors, given that the special
+processor already carries compute load ``t_P`` and memory ``m_P``, and
+that at least ``V`` seconds elapse between the end of ``F_l`` and the
+start of ``B_l`` for one batch.
+
+Memory is estimated against a *target* period ``T̂`` via the 1F1B\\*
+analysis: a stage ``k..l`` whose forward→backward delay is ``V`` keeps
+``g(k,l,V) = ⌈(V + U(k,l))/T̂⌉`` activation copies (``g − 1`` on the
+special processor — a deliberate under-estimate, repaired by the phase-2
+ILP).  Delays propagate through the group-rounding operator
+
+``x ⊕ y = x + y``                     if ``⌈x/T̂⌉ = ⌈(x+y)/T̂⌉``
+``x ⊕ y = T̂·⌈x/T̂⌉ + y``              otherwise.
+
+Algorithm 1 then binary-searches the target ``T̂`` for
+``min max(MadPipe-DP(T̂), T̂)``.
+
+The continuous coordinates ``t_P``, ``m_P``, ``V`` are snapped to a
+:class:`Discretization` grid (the paper uses 101 × 11 × 51 points); the
+recursion is memoized top-down so only *reachable* grid states are ever
+evaluated, and candidate stages whose immediate load already exceeds a
+known upper bound are pruned.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass, field
+
+from ..core.chain import Chain
+from ..core.partition import Allocation, Partitioning, Stage
+from ..core.platform import Platform
+
+__all__ = [
+    "Discretization",
+    "DPAllocation",
+    "madpipe_dp",
+    "MadPipeDPResult",
+    "algorithm1",
+]
+
+INF = float("inf")
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Discretization:
+    """Grid sizes for the continuous DP coordinates (paper §5.1)."""
+
+    n_t: int = 101  # special-processor load, over [0, U(1,L)]
+    n_m: int = 11  # special-processor memory, over [0, M]
+    n_v: int = 51  # forward→backward delay, over [0, U(1,L) + ΣC]
+
+    def __post_init__(self) -> None:
+        if min(self.n_t, self.n_m, self.n_v) < 2:
+            raise ValueError("each grid needs at least 2 points")
+
+    @classmethod
+    def paper(cls) -> "Discretization":
+        """The granularity used in the paper's experiments."""
+        return cls(101, 11, 51)
+
+    @classmethod
+    def default(cls) -> "Discretization":
+        """A good speed/quality trade-off for pure-Python runs."""
+        return cls(51, 11, 31)
+
+    @classmethod
+    def coarse(cls) -> "Discretization":
+        """Fast grid for tests and wide parameter sweeps."""
+        return cls(25, 7, 15)
+
+
+@dataclass(frozen=True)
+class DPAllocation:
+    """Decisions of one DP solution: stages in chain order, each flagged
+    normal (own GPU) or special (shared GPU)."""
+
+    stages: tuple[Stage, ...]
+    special: tuple[bool, ...]
+
+    def to_allocation(self, platform: Platform) -> Allocation:
+        """Materialize on a platform: normal stages take GPUs ``0, 1, …``
+        in chain order; all special stages share GPU ``P − 1``."""
+        procs = []
+        normal = 0
+        for is_special in self.special:
+            if is_special:
+                procs.append(platform.n_procs - 1)
+            else:
+                procs.append(normal)
+                normal += 1
+        if normal > platform.n_procs - 1 and any(self.special):
+            raise ValueError("allocation uses more normal GPUs than available")
+        if normal > platform.n_procs:
+            raise ValueError("allocation uses more GPUs than available")
+        return Allocation(Partitioning(self.stages), tuple(procs))
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+
+@dataclass
+class MadPipeDPResult:
+    """Result of one ``MadPipe-DP(T̂)`` evaluation."""
+
+    target: float  # T̂ used for the memory estimates
+    dp_period: float  # load-based period of the returned allocation (T)
+    allocation: DPAllocation | None
+    states: int = 0  # memoized states (diagnostics)
+
+    @property
+    def effective_period(self) -> float:
+        """max(T, T̂): a schedule needs T for load and T̂ for memory."""
+        return max(self.dp_period, self.target)
+
+    @property
+    def feasible(self) -> bool:
+        return self.allocation is not None
+
+
+def madpipe_dp(
+    chain: Chain,
+    platform: Platform,
+    target: float,
+    *,
+    grid: Discretization | None = None,
+    period_cap: float = INF,
+    allow_special: bool = True,
+) -> MadPipeDPResult:
+    """Evaluate ``MadPipe-DP(T̂)`` (§4.2.2).
+
+    ``period_cap`` prunes candidate stages that cannot beat an incumbent
+    period (the cap must over-estimate the optimum; ``inf`` disables).
+    ``allow_special=False`` restricts the DP to contiguous allocations
+    (ablation: memory-aware PipeDream).
+    """
+    if target <= 0:
+        raise ValueError("target period must be positive")
+    grid = grid or Discretization.default()
+    L, P, M = chain.L, platform.n_procs, platform.memory
+    beta = platform.bandwidth
+    That = target
+
+    t_max = chain.total_compute()
+    v_max = t_max + chain.total_comm(beta)
+    t_step = t_max / (grid.n_t - 1)
+    m_step = M / (grid.n_m - 1)
+    v_step = v_max / (grid.n_v - 1)
+    it_top, im_top, iv_top = grid.n_t - 1, grid.n_m - 1, grid.n_v - 1
+
+    # hot-loop locals: O(1) range queries from prefix sums, no method calls
+    cumU = chain._cum_u.tolist()  # U(k,l) = cumU[l] - cumU[k-1]
+    cumW = chain._cum_w.tolist()
+    cumA = chain._cum_a_in.tolist()  # Σ a_{i-1} over k..l
+    act = chain._act.tolist()  # a^{(l)}, index 0..L
+    ceil = math.ceil
+
+    def mem(k: int, l: int, g: int) -> float:
+        """``M(k, l, g)`` of §4.2.1 (buffers dropped at chain ends)."""
+        m = 3.0 * (cumW[l] - cumW[k - 1]) + g * (cumA[l] - cumA[k - 1])
+        if k > 1:
+            m += 2.0 * act[k - 1]
+        if l < L:
+            m += 2.0 * act[l]
+        return m
+
+    def oplus(x: float, y: float) -> float:
+        """Group-rounding delay addition (paper §4.2.2)."""
+        cx = ceil(x / That - 1e-9)
+        if cx == ceil((x + y) / That - 1e-9):
+            return x + y
+        return That * cx + y
+
+    # memo[(l, p, it, im, iv)] = (period, decision)
+    # decision: (k, is_special, child_key) or None at base cases
+    memo: dict[tuple, tuple[float, tuple | None]] = {}
+
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 10 * L + 1000))
+
+    def solve(l: int, p: int, it: int, im: int, iv: int) -> tuple[float, tuple | None]:
+        if l == 0:
+            return (it * t_step, None)
+        key = (l, p, it, im, iv)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        t_P, m_P, V = it * t_step, im * m_step, iv * v_step
+        best: float = INF
+        best_dec: tuple | None = None
+
+        if p == 0:
+            # all remaining layers become one stage on the special processor
+            U_1l = cumU[l]
+            g = max(1, ceil((V + U_1l) / That - 1e-9))
+            if allow_special and m_P + mem(1, l, g - 1) <= M + _EPS:
+                best = U_1l + t_P
+                best_dec = (1, True, None)
+            memo[key] = (best, best_dec)
+            return memo[key]
+
+        cumU_l = cumU[l]
+        for k in range(l, 0, -1):
+            U_kl = cumU_l - cumU[k - 1]
+            comm = 2.0 * act[k - 1] / beta if k > 1 else 0.0
+            if U_kl >= period_cap and t_P + U_kl >= period_cap:
+                break  # larger stages only get worse
+            g = ceil((V + U_kl) / That - 1e-9)
+            if g < 1:
+                g = 1
+            V2 = oplus(oplus(V, U_kl), comm)
+            iv2 = ceil(V2 / v_step - 1e-9)
+            if iv2 > iv_top:
+                iv2 = iv_top
+            # normal processor
+            if U_kl < period_cap and mem(k, l, g) <= M + _EPS:
+                sub, _ = solve(k - 1, p - 1, it, im, iv2)
+                cand = max(U_kl, comm, sub)
+                if cand < best:
+                    best = cand
+                    best_dec = (k, False, (k - 1, p - 1, it, im, iv2))
+            # special processor
+            if allow_special:
+                t2 = t_P + U_kl
+                m2 = m_P + mem(k, l, g - 1)
+                if t2 < period_cap and m2 <= M + _EPS:
+                    it2 = ceil(t2 / t_step - 1e-9)
+                    if it2 > it_top:
+                        it2 = it_top
+                    im2 = ceil(m2 / m_step - 1e-9)
+                    if im2 > im_top:
+                        im2 = im_top
+                    sub, _ = solve(k - 1, p, it2, im2, iv2)
+                    cand = max(t2, comm, sub)
+                    if cand < best:
+                        best = cand
+                        best_dec = (k, True, (k - 1, p, it2, im2, iv2))
+        memo[key] = (best, best_dec)
+        return memo[key]
+
+    # P-1 normal processors plus the special one; without the special
+    # processor all P processors are normal.
+    root = (L, P - 1 if allow_special else P, 0, 0, 0)
+    period, _ = solve(*root)
+    if period == INF:
+        return MadPipeDPResult(target, INF, None, states=len(memo))
+
+    # traceback
+    stages: list[Stage] = []
+    special: list[bool] = []
+    key = root
+    while True:
+        l = key[0]
+        if l == 0:
+            break
+        _, dec = memo[key] if key in memo else solve(*key)
+        if dec is None:
+            break
+        k, is_special, child = dec
+        stages.append(Stage(k, l))
+        special.append(is_special)
+        if child is None:
+            break
+        key = child
+    stages.reverse()
+    special.reverse()
+    return MadPipeDPResult(
+        target, period, DPAllocation(tuple(stages), tuple(special)), states=len(memo)
+    )
+
+
+@dataclass
+class Algorithm1Result:
+    """Outcome of the T̂ binary search (phase 1 of MadPipe)."""
+
+    period: float  # best max(T_i, T̂_i)
+    target: float  # the T̂ achieving it
+    allocation: DPAllocation | None
+    history: list[tuple[float, float]] = field(default_factory=list)  # (T̂_i, T_i)
+
+    @property
+    def feasible(self) -> bool:
+        return self.allocation is not None
+
+
+def algorithm1(
+    chain: Chain,
+    platform: Platform,
+    *,
+    iterations: int = 10,
+    grid: Discretization | None = None,
+    allow_special: bool = True,
+) -> Algorithm1Result:
+    """Algorithm 1: modified binary search over the target period T̂.
+
+    For each probe, ``min(T, T̂)`` is a lower bound of the optimal
+    ``T̂*`` and ``max(T, T̂)`` an upper bound; the next probe bisects.
+    """
+    lb = chain.total_compute() / platform.n_procs
+    ub = chain.total_compute() + chain.total_comm(platform.bandwidth)
+    That = lb
+    best = Algorithm1Result(INF, That, None)
+    for _ in range(iterations):
+        res = madpipe_dp(
+            chain,
+            platform,
+            That,
+            grid=grid,
+            period_cap=min(best.period, ub * (1 + 1e-9)) if best.feasible else INF,
+            allow_special=allow_special,
+        )
+        T = res.dp_period
+        best.history.append((That, T))
+        if res.feasible and res.effective_period < best.period:
+            best.period = res.effective_period
+            best.target = That
+            best.allocation = res.allocation
+        lb = max(lb, min(T, That))
+        ub = min(ub, max(T, That))
+        if ub <= lb * (1 + 1e-9):
+            That = ub
+        else:
+            That = (lb + ub) / 2
+    return best

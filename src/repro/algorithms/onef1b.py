@@ -1,0 +1,223 @@
+"""1F1B\\* — optimal periodic pattern for a contiguous allocation (paper §4.1).
+
+Given a contiguous partitioning and a feasible period ``T``, the algorithm
+builds the pattern using the fewest active batches on every GPU among all
+valid periodic patterns (Proposition 1):
+
+1. communications are turned into pseudo-layers of duration
+   ``C(l) = 2 a_l/β`` (forward half ``a_l/β``, backward half ``a_l/β``),
+   giving at most ``2P − 1`` *items* on as many resources;
+2. items are grouped from the back: a group absorbs preceding items while
+   its total load stays ≤ ``T``;
+3. each group is scheduled as a "V": forwards in chain order back-to-back,
+   then backwards in reverse order back-to-back; groups are connected at
+   the forward chain, and starting times ≥ ``T`` wrap (shift += 1).
+
+A stage in group ``g`` stores exactly ``g`` activation copies, so the
+minimal feasible period of a partitioning is the smallest ``T`` (at least
+the bottleneck load) whose induced groups fit in memory everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.chain import Chain
+from ..core.memory import stage_memory
+from ..core.partition import Allocation, Partitioning
+from ..core.pattern import Op, PeriodicPattern, gpu, link
+from ..core.platform import Platform
+
+__all__ = [
+    "Item",
+    "extended_items",
+    "assign_groups",
+    "build_pattern",
+    "min_feasible_period",
+    "OneF1BResult",
+]
+
+
+@dataclass(frozen=True)
+class Item:
+    """One resource of the transformed chain: a compute stage or a
+    communication boundary."""
+
+    kind: str  # "stage" or "comm"
+    index: int  # stage index, or boundary index (cut after stage `index`)
+    u_f: float
+    u_b: float
+
+    @property
+    def load(self) -> float:
+        return self.u_f + self.u_b
+
+
+def extended_items(
+    chain: Chain, platform: Platform, allocation: Allocation
+) -> list[Item]:
+    """The ≤ 2N−1 items of the transformed chain (stages ∪ cut boundaries)."""
+    items: list[Item] = []
+    stages = allocation.stages
+    for i, stage in enumerate(stages):
+        items.append(
+            Item("stage", i, stage.forward(chain), stage.backward(chain))
+        )
+        if i < len(stages) - 1 and allocation.procs[i] != allocation.procs[i + 1]:
+            half = chain.activation(stage.end) / platform.bandwidth
+            items.append(Item("comm", i, half, half))
+    return items
+
+
+def assign_groups(items: list[Item], period: float) -> list[int]:
+    """Group index (1 = last group, as in the paper) per item.
+
+    Built iteratively from the last item; a group absorbs earlier items
+    while its total load stays ≤ ``period``.  Any single item with load
+    > ``period`` makes the period infeasible (ValueError).
+    """
+    groups = [0] * len(items)
+    g = 1
+    acc = 0.0
+    for i in range(len(items) - 1, -1, -1):
+        load = items[i].load
+        if load > period * (1 + 1e-12):
+            raise ValueError(
+                f"item {items[i].kind}{items[i].index} load {load:.4g} "
+                f"exceeds period {period:.4g}"
+            )
+        if acc + load > period * (1 + 1e-12):
+            g += 1
+            acc = 0.0
+        acc += load
+        groups[i] = g
+    return groups
+
+
+def build_pattern(
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    period: float,
+) -> PeriodicPattern:
+    """Construct the 1F1B\\* pattern for a contiguous allocation.
+
+    Raises ``ValueError`` when the period is below the bottleneck load.
+    The caller is responsible for checking memory feasibility (see
+    :func:`min_feasible_period`).
+    """
+    if not allocation.is_contiguous():
+        raise ValueError("1F1B* requires a contiguous allocation")
+    items = extended_items(chain, platform, allocation)
+    groups = assign_groups(items, period)
+
+    pattern = PeriodicPattern(allocation=allocation, period=period)
+    procs = allocation.procs
+    t = 0.0
+    # walk groups from the front of the chain (largest group number first)
+    i = 0
+    while i < len(items):
+        g = groups[i]
+        j = i
+        while j < len(items) and groups[j] == g:
+            j += 1
+        # forwards of items[i:j]
+        tf = t
+        for item in items[i:j]:
+            kind = "F" if item.kind == "stage" else "CF"
+            pattern.add(
+                Op(kind, item.index, _resource(item, procs), tf, item.u_f, 0)
+            )
+            tf += item.u_f
+        # backwards immediately after, reverse order, shift g-1
+        tb = tf
+        for item in reversed(items[i:j]):
+            kind = "B" if item.kind == "stage" else "CB"
+            pattern.add(
+                Op(kind, item.index, _resource(item, procs), tb, item.u_b, g - 1)
+            )
+            tb += item.u_b
+        t = tf  # next group's forwards connect right after our last forward
+        i = j
+    pattern.normalize()
+    return pattern
+
+
+def _resource(item: Item, procs: tuple[int, ...]) -> tuple:
+    if item.kind == "stage":
+        return gpu(procs[item.index])
+    return link(procs[item.index], procs[item.index + 1])
+
+
+@dataclass
+class OneF1BResult:
+    """Outcome of the minimal-feasible-period search."""
+
+    period: float
+    pattern: PeriodicPattern
+    groups: dict[int, int]  # stage index -> group number
+    memory: dict[int, float]  # processor -> bytes used (analytic, §4.2.1)
+
+
+def _stage_memories(
+    chain: Chain, allocation: Allocation, items: list[Item], groups: list[int]
+) -> dict[int, float]:
+    """Per-processor memory of the 1F1B\\* schedule: stage in group ``g``
+    keeps ``g`` activation copies (paper §4.1)."""
+    memory: dict[int, float] = {}
+    for item, g in zip(items, groups):
+        if item.kind != "stage":
+            continue
+        s = allocation.stages[item.index]
+        p = allocation.procs[item.index]
+        memory[p] = memory.get(p, 0.0) + stage_memory(chain, s.start, s.end, g)
+    return memory
+
+
+def min_feasible_period(
+    chain: Chain,
+    platform: Platform,
+    partitioning: Partitioning,
+    *,
+    build: bool = True,
+) -> OneF1BResult | None:
+    """Smallest period at which the 1F1B\\* schedule of ``partitioning``
+    fits in memory on every GPU; ``None`` if no period works.
+
+    Candidate periods are the group-structure breakpoints: sums of item
+    loads over contiguous item ranges (grouping only changes there), plus
+    the bottleneck lower bound.  Increasing T can only merge groups, so
+    memory usage is non-increasing in T and the scan stops at the first
+    feasible candidate.
+    """
+    allocation = Allocation.contiguous(partitioning)
+    if partitioning.n_stages > platform.n_procs:
+        raise ValueError("more stages than processors")
+    items = extended_items(chain, platform, allocation)
+    loads = [it.load for it in items]
+    lower = max(loads)
+
+    candidates = {lower}
+    n = len(items)
+    for a in range(n):
+        acc = 0.0
+        for b in range(a, n):
+            acc += loads[b]
+            if acc >= lower - 1e-15:
+                candidates.add(acc)
+    for T in sorted(candidates):
+        groups = assign_groups(items, T)
+        memory = _stage_memories(chain, allocation, items, groups)
+        if all(m <= platform.memory * (1 + 1e-9) for m in memory.values()):
+            pattern = (
+                build_pattern(chain, platform, allocation, T) if build else None
+            )
+            stage_groups = {
+                it.index: g
+                for it, g in zip(items, groups)
+                if it.kind == "stage"
+            }
+            return OneF1BResult(
+                period=T, pattern=pattern, groups=stage_groups, memory=memory
+            )
+    return None

@@ -1,0 +1,119 @@
+"""Command-line interface: profile networks, schedule profiles, inspect.
+
+Usage::
+
+    python -m repro profile resnet50 --image-size 1000 --batch 8 -o rn50.json
+    python -m repro report rn50.json --top 10
+    python -m repro schedule rn50.json -p 4 -m 8 -b 12 --gantt -o sched.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .algorithms import Discretization, madpipe, pipedream
+from .core.platform import Platform
+from .core.serialize import save_pattern
+from .experiments.scenarios import network_builders
+from .profiling import V100, load_chain, profile_model, save_chain
+from .models import linearize, vgg16
+from .viz.gantt import render_gantt
+from .viz.report import chain_report, schedule_report
+
+__all__ = ["main"]
+
+_NETWORKS = dict(network_builders(), vgg16=vgg16)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        builder = _NETWORKS[args.network]
+    except KeyError:
+        print(f"unknown network {args.network!r}; choose from {sorted(_NETWORKS)}")
+        return 2
+    graph = builder(image_size=args.image_size)
+    profile_model(graph, V100, args.batch)
+    chain = linearize(graph)
+    save_chain(chain, args.out)
+    print(
+        f"wrote {args.out}: {chain.L} layers, U = {chain.total_compute():.4f}s"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    chain = load_chain(args.profile)
+    print(chain_report(chain, top=args.top))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    chain = load_chain(args.profile)
+    platform = Platform.of(args.procs, args.memory_gb, args.bandwidth_gbps)
+    if args.algorithm == "pipedream":
+        res = pipedream(chain, platform)
+        pattern = res.schedule.pattern if res.feasible else None
+    else:
+        mp = madpipe(
+            chain,
+            platform,
+            grid=getattr(Discretization, args.grid)(),
+            ilp_time_limit=args.ilp_time_limit,
+        )
+        pattern = mp.pattern
+    if pattern is None:
+        print("no memory-feasible schedule found")
+        return 1
+    print(schedule_report(chain, platform, pattern))
+    if args.gantt:
+        print()
+        print(render_gantt(pattern, width=args.width))
+    if args.out:
+        save_pattern(pattern, args.out)
+        print(f"\nwrote schedule to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="profile a zoo network to a JSON chain")
+    p.add_argument("network", help=f"one of {sorted(_NETWORKS)}")
+    p.add_argument("--image-size", type=int, default=1000)
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("-o", "--out", default="chain.json")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("report", help="tabulate a profiled chain")
+    p.add_argument("profile")
+    p.add_argument("--top", type=int, default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("schedule", help="schedule a profile on a platform")
+    p.add_argument("profile")
+    p.add_argument("-p", "--procs", type=int, required=True)
+    p.add_argument("-m", "--memory-gb", type=float, required=True)
+    p.add_argument("-b", "--bandwidth-gbps", type=float, default=12.0)
+    p.add_argument(
+        "-a", "--algorithm", choices=("madpipe", "pipedream"), default="madpipe"
+    )
+    p.add_argument(
+        "--grid", choices=("coarse", "default", "paper"), default="default"
+    )
+    p.add_argument("--ilp-time-limit", type=float, default=60.0)
+    p.add_argument("--gantt", action="store_true")
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("-o", "--out", default=None)
+    p.set_defaults(func=_cmd_schedule)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Core data structures: chains, platforms, partitionings, patterns, memory."""
+
+from .chain import Chain, LayerProfile
+from .memory import MemoryBreakdown, stage_memory, stage_memory_breakdown
+from .partition import Allocation, Partitioning, Stage
+from .pattern import Op, PatternError, PeriodicPattern, gpu, link
+from .platform import GB, GBPS, Platform
+from .serialize import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_pattern,
+)
+
+__all__ = [
+    "Chain",
+    "LayerProfile",
+    "MemoryBreakdown",
+    "stage_memory",
+    "stage_memory_breakdown",
+    "Allocation",
+    "Partitioning",
+    "Stage",
+    "Op",
+    "PatternError",
+    "PeriodicPattern",
+    "gpu",
+    "link",
+    "GB",
+    "GBPS",
+    "Platform",
+    "allocation_from_dict",
+    "allocation_to_dict",
+    "load_pattern",
+    "pattern_from_dict",
+    "pattern_to_dict",
+    "save_pattern",
+]

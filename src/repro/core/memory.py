@@ -1,0 +1,87 @@
+"""GPU memory model (paper §3 and §4.2.1).
+
+A stage made of layers ``k..l`` held on a GPU that keeps ``g`` active
+batches occupies
+
+``M(k, l, g) = Σ_{i=k}^{l} (3·W_i + g·a_{i-1}) + 2·(a_{k-1} + a_l)``
+
+* ``3·W_i`` — two versions of the parameters plus one accumulated gradient
+  (the 2BW scheme of PipeDream-2BW adopted by the paper);
+* ``g·a_{i-1}`` — ``g`` copies of each stored input activation;
+* ``2·(a_{k-1} + a_l)`` — send/receive communication buffers at the stage
+  boundaries (dropped when ``k = 1`` / ``l = L``, where no communication
+  takes place).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .chain import Chain
+
+__all__ = ["MemoryBreakdown", "stage_memory", "stage_memory_breakdown"]
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-component memory usage of a stage, in bytes."""
+
+    weights: float
+    activations: float
+    buffers: float
+
+    @property
+    def total(self) -> float:
+        return self.weights + self.activations + self.buffers
+
+
+def stage_memory_breakdown(
+    chain: Chain,
+    k: int,
+    l: int,
+    g: int,
+    *,
+    in_buffer: bool | None = None,
+    out_buffer: bool | None = None,
+) -> MemoryBreakdown:
+    """Memory breakdown of stage ``k..l`` keeping ``g`` active batches.
+
+    ``in_buffer`` / ``out_buffer`` control whether the communication buffers
+    at the stage boundaries are counted.  By default they follow the paper's
+    rule: present unless the boundary is the start (k = 1) or end (l = L)
+    of the chain.  A non-contiguous allocation may override them (e.g. two
+    stages of the special processor that are adjacent in the chain still
+    exchange data through memory, but we keep the paper's conservative
+    accounting and always charge buffers at internal boundaries).
+    """
+    if k > l:
+        raise ValueError("empty stage")
+    if g < 0:
+        raise ValueError("negative active batch count")
+    if in_buffer is None:
+        in_buffer = k > 1
+    if out_buffer is None:
+        out_buffer = l < chain.L
+    weights = 3.0 * chain.weights(k, l)
+    activations = g * chain.stored_activations(k, l)
+    buffers = 0.0
+    if in_buffer:
+        buffers += 2.0 * chain.activation(k - 1)
+    if out_buffer:
+        buffers += 2.0 * chain.activation(l)
+    return MemoryBreakdown(weights=weights, activations=activations, buffers=buffers)
+
+
+def stage_memory(
+    chain: Chain,
+    k: int,
+    l: int,
+    g: int,
+    *,
+    in_buffer: bool | None = None,
+    out_buffer: bool | None = None,
+) -> float:
+    """Total ``M(k, l, g)`` in bytes (see :func:`stage_memory_breakdown`)."""
+    return stage_memory_breakdown(
+        chain, k, l, g, in_buffer=in_buffer, out_buffer=out_buffer
+    ).total

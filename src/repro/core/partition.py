@@ -1,0 +1,184 @@
+"""Stages, partitionings and allocations (paper §3 terminology).
+
+* A *stage* is a contiguous set of layers ``k..l``.
+* A *partitioning* is an ordered list of stages covering the chain ``1..L``.
+* An *allocation* assigns each stage to a processor.  It is *contiguous*
+  when every processor holds at most one stage; MadPipe also produces
+  allocations where one *special* processor holds several stages while all
+  other (*normal*) processors hold exactly one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .chain import Chain
+from .platform import Platform
+
+__all__ = ["Stage", "Partitioning", "Allocation"]
+
+
+@dataclass(frozen=True, order=True)
+class Stage:
+    """Contiguous layer range ``start..end`` (1-based, inclusive)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.end < self.start:
+            raise ValueError(f"invalid stage [{self.start}, {self.end}]")
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def compute(self, chain: Chain) -> float:
+        """``U(s)`` — total forward+backward cost of the stage."""
+        return chain.U(self.start, self.end)
+
+    def forward(self, chain: Chain) -> float:
+        return chain.U_f(self.start, self.end)
+
+    def backward(self, chain: Chain) -> float:
+        return chain.U_b(self.start, self.end)
+
+    def stored_activations(self, chain: Chain) -> float:
+        """``ā_s = Σ_{i∈s} a_{i-1}`` (paper §4.3)."""
+        return chain.stored_activations(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """An ordered cover of the chain by contiguous stages."""
+
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("empty partitioning")
+        if self.stages[0].start != 1:
+            raise ValueError("first stage must start at layer 1")
+        for a, b in zip(self.stages, self.stages[1:]):
+            if b.start != a.end + 1:
+                raise ValueError(f"gap/overlap between {a} and {b}")
+
+    @classmethod
+    def from_cuts(cls, L: int, cuts: list[int] | tuple[int, ...]) -> "Partitioning":
+        """Build from the sorted list of last-layers of each stage except
+        the final one (e.g. ``L=10, cuts=[3, 7]`` → stages 1-3, 4-7, 8-10).
+        """
+        bounds = [0, *cuts, L]
+        if sorted(set(bounds)) != bounds:
+            raise ValueError(f"cuts must be strictly increasing within 1..{L - 1}")
+        return cls(tuple(Stage(a + 1, b) for a, b in zip(bounds, bounds[1:])))
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def L(self) -> int:
+        return self.stages[-1].end
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __getitem__(self, i: int) -> Stage:
+        return self.stages[i]
+
+    def cut_layers(self) -> list[int]:
+        """Layers ``l`` whose boundary ``(l, l+1)`` separates two stages."""
+        return [s.end for s in self.stages[:-1]]
+
+    def validate_cover(self, chain: Chain) -> None:
+        """Raise if the partitioning does not exactly cover ``chain``."""
+        if self.L != chain.L:
+            raise ValueError(
+                f"partitioning covers 1..{self.L} but chain has L={chain.L}"
+            )
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A partitioning plus a stage → processor assignment.
+
+    ``procs[i]`` is the 0-based processor index executing ``stages[i]``.
+    """
+
+    partitioning: Partitioning
+    procs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.procs) != self.partitioning.n_stages:
+            raise ValueError("one processor per stage required")
+        if any(p < 0 for p in self.procs):
+            raise ValueError("processor indices must be non-negative")
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return self.partitioning.stages
+
+    @property
+    def n_stages(self) -> int:
+        return self.partitioning.n_stages
+
+    def procs_used(self) -> set[int]:
+        return set(self.procs)
+
+    def stages_on_proc(self, p: int) -> list[int]:
+        """Indices (into ``stages``) of the stages held by processor ``p``."""
+        return [i for i, q in enumerate(self.procs) if q == p]
+
+    def is_contiguous(self) -> bool:
+        """True iff every processor holds at most one stage."""
+        return len(self.procs_used()) == len(self.procs)
+
+    def special_procs(self) -> list[int]:
+        """Processors holding more than one stage."""
+        seen: dict[int, int] = {}
+        for p in self.procs:
+            seen[p] = seen.get(p, 0) + 1
+        return sorted(p for p, n in seen.items() if n > 1)
+
+    # -- loads ---------------------------------------------------------------
+
+    def proc_loads(self, chain: Chain) -> dict[int, float]:
+        """Total compute load per processor."""
+        loads: dict[int, float] = {}
+        for stage, p in zip(self.stages, self.procs):
+            loads[p] = loads.get(p, 0.0) + stage.compute(chain)
+        return loads
+
+    def link_loads(self, chain: Chain, bandwidth: float) -> dict[tuple[int, int], float]:
+        """Total communication load per (unordered) processor pair link."""
+        loads: dict[tuple[int, int], float] = {}
+        for (s, p), (_, q) in zip(
+            zip(self.stages, self.procs), zip(self.stages[1:], self.procs[1:])
+        ):
+            if p != q:
+                key = (min(p, q), max(p, q))
+                loads[key] = loads.get(key, 0.0) + chain.comm_time(s.end, bandwidth)
+        return loads
+
+    def period_lower_bound(self, chain: Chain, platform: Platform) -> float:
+        """Paper's *period of an allocation*: the load of the most loaded
+        resource (GPU or link), ignoring memory constraints."""
+        loads = list(self.proc_loads(chain).values())
+        loads.extend(self.link_loads(chain, platform.bandwidth).values())
+        return max(loads)
+
+    def validate(self, chain: Chain, platform: Platform) -> None:
+        """Raise if the allocation is structurally invalid for the inputs."""
+        self.partitioning.validate_cover(chain)
+        if any(p >= platform.n_procs for p in self.procs):
+            raise ValueError("processor index beyond platform size")
+
+    @classmethod
+    def contiguous(cls, partitioning: Partitioning) -> "Allocation":
+        """Assign stage ``i`` to processor ``i`` (the PipeDream layout)."""
+        return cls(partitioning, tuple(range(partitioning.n_stages)))

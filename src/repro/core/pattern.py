@@ -1,0 +1,269 @@
+"""Periodic schedule patterns (paper §3, Fig. 2).
+
+A pattern of period ``T`` specifies, for every operation (forward ``F_s`` /
+backward ``B_s`` of each stage, and the activation/gradient transfers of
+every cut boundary), the resource in charge, a starting time ``t ∈ [0, T)``
+and an integer *index shift* ``h``: in the ``k``-th period the operation
+starts at ``kT + t`` and processes mini-batch ``k − h``.
+
+The pattern is *valid* when, repeated indefinitely, it satisfies the
+dependencies of Fig. 1 and never overlaps two operations on one resource.
+For a same-batch dependency ``u → v`` this reduces to the batch-independent
+inequality ``(h_v − h_u)·T + t_v − t_u ≥ d_u``.
+
+The steady-state number of active batches a stage keeps in memory at
+in-period time ``τ`` is ``(h_B − h_F) + [τ ≥ t_F] − [τ ≥ t_B + d_B]``
+(activation storage is charged from forward start to backward completion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .chain import Chain
+from .memory import stage_memory_breakdown
+from .partition import Allocation
+from .platform import Platform
+
+__all__ = ["Op", "PeriodicPattern", "PatternError", "gpu", "link"]
+
+EPS = 1e-9
+
+# Operation kinds: stage compute and boundary communications.
+F, B, CF, CB = "F", "B", "CF", "CB"
+
+
+def gpu(p: int) -> tuple:
+    """Resource key of processor ``p``."""
+    return ("gpu", p)
+
+
+def link(p: int, q: int) -> tuple:
+    """Resource key of the (unordered) link between processors p and q."""
+    return ("link", min(p, q), max(p, q))
+
+
+class PatternError(ValueError):
+    """Raised when a pattern violates the periodic-schedule semantics."""
+
+
+@dataclass
+class Op:
+    """One operation of a periodic pattern.
+
+    ``kind`` ∈ {"F", "B", "CF", "CB"}; ``index`` is the stage index for
+    compute ops and the boundary index ``i`` (the cut after stage ``i``)
+    for communication ops.
+    """
+
+    kind: str
+    index: int
+    resource: tuple
+    start: float
+    duration: float
+    shift: int
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.kind, self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Op({self.kind}{self.index} on {self.resource} "
+            f"@{self.start:.4f}+{self.duration:.4f} h={self.shift})"
+        )
+
+
+@dataclass
+class PeriodicPattern:
+    """A periodic pattern for a given allocation.
+
+    ``ops`` maps ``(kind, index)`` to :class:`Op`.  Communication ops exist
+    only for boundaries whose adjacent stages live on different processors.
+    """
+
+    allocation: Allocation
+    period: float
+    ops: dict[tuple[str, int], Op] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, op: Op) -> None:
+        if op.key in self.ops:
+            raise PatternError(f"duplicate op {op.key}")
+        self.ops[op.key] = op
+
+    def normalize(self) -> None:
+        """Fold starting times into ``[0, T)`` by adjusting shifts (the
+        paper's "if any operation starts later than T, lower its start by T
+        and increase its shift by 1"), then shift all indices so that ``F``
+        of stage 0 has shift 0.  Operations may still *end* past ``T``:
+        they wrap around the period boundary.
+        """
+        T = self.period
+        for op in self.ops.values():
+            while op.start >= T - EPS:
+                op.start -= T
+                op.shift += 1
+            while op.start < -EPS:
+                op.start += T
+                op.shift -= 1
+        base = self.ops[(F, 0)].shift
+        if base:
+            for op in self.ops.values():
+                op.shift -= base
+
+    # -- dependency structure -------------------------------------------------
+
+    def dependency_edges(self) -> list[tuple[tuple[str, int], tuple[str, int]]]:
+        """Same-batch dependency edges between op keys (Fig. 1 semantics,
+        lifted to stages): ``F_i → (CF_i →) F_{i+1}``, ``F_N → B_N``,
+        ``B_{i+1} → (CB_i →) B_i``, and ``F_i → B_i`` (a stage's backward
+        needs its own stored activations).
+        """
+        n = self.allocation.n_stages
+        edges: list[tuple[tuple[str, int], tuple[str, int]]] = []
+        for i in range(n - 1):
+            if (CF, i) in self.ops:
+                edges.append(((F, i), (CF, i)))
+                edges.append(((CF, i), (F, i + 1)))
+            else:
+                edges.append(((F, i), (F, i + 1)))
+            if (CB, i) in self.ops:
+                edges.append(((B, i + 1), (CB, i)))
+                edges.append(((CB, i), (B, i)))
+            else:
+                edges.append(((B, i + 1), (B, i)))
+        for i in range(n):
+            edges.append(((F, i), (B, i)))
+        return edges
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, chain: Chain, platform: Platform, tol: float = 1e-6) -> None:
+        """Raise :class:`PatternError` on any violation of the semantics."""
+        self._validate_structure(chain, platform, tol)
+        self._validate_dependencies(tol)
+        self._validate_resources(tol)
+
+    def _validate_structure(self, chain: Chain, platform: Platform, tol: float) -> None:
+        alloc = self.allocation
+        alloc.validate(chain, platform)
+        n = alloc.n_stages
+        for i in range(n):
+            for kind in (F, B):
+                if (kind, i) not in self.ops:
+                    raise PatternError(f"missing op {kind}{i}")
+        for i in range(n - 1):
+            cut = alloc.procs[i] != alloc.procs[i + 1]
+            for kind in (CF, CB):
+                present = (kind, i) in self.ops
+                if cut and not present:
+                    raise PatternError(f"missing communication {kind}{i}")
+                if not cut and present:
+                    raise PatternError(f"spurious communication {kind}{i}")
+        for op in self.ops.values():
+            if op.start < -tol or op.start >= self.period + tol:
+                raise PatternError(f"{op} starts outside [0, {self.period})")
+            if op.duration > self.period + tol:
+                raise PatternError(f"{op} is longer than the period")
+            if op.kind in (F, B):
+                expected = gpu(alloc.procs[op.index])
+            else:
+                expected = link(alloc.procs[op.index], alloc.procs[op.index + 1])
+            if op.resource != expected:
+                raise PatternError(f"{op} on wrong resource (expected {expected})")
+
+    def _validate_dependencies(self, tol: float) -> None:
+        T = self.period
+        for u_key, v_key in self.dependency_edges():
+            u, v = self.ops[u_key], self.ops[v_key]
+            slack = (v.shift - u.shift) * T + v.start - u.start - u.duration
+            if slack < -tol:
+                raise PatternError(
+                    f"dependency {u_key} -> {v_key} violated by {-slack:.3g}s"
+                )
+
+    def _validate_resources(self, tol: float) -> None:
+        T = self.period
+        by_resource: dict[tuple, list[Op]] = {}
+        for op in self.ops.values():
+            by_resource.setdefault(op.resource, []).append(op)
+        for resource, ops in by_resource.items():
+            # circular (mod T) pairwise overlap test: [s, s+d) and
+            # [s', s'+d') intersect on the period circle iff either start
+            # falls strictly inside the other interval:
+            # (s' - s) mod T < d  or  (s - s') mod T < d'.
+            for i, a in enumerate(ops):
+                for b in ops[i + 1 :]:
+                    gap_ab = (b.start - a.start) % T
+                    gap_ba = (a.start - b.start) % T
+                    if gap_ab < a.duration - tol or gap_ba < b.duration - tol:
+                        raise PatternError(f"overlap on {resource}: {a} and {b}")
+
+    # -- memory accounting ------------------------------------------------------
+
+    def active_batches(self, stage_idx: int, tau: float) -> int:
+        """Steady-state number of active batches stage ``stage_idx`` stores
+        at in-period time ``tau``.
+
+        Counting batches whose ``F`` has started and whose ``B`` has not
+        completed at absolute time ``kT + tau`` gives, for any large ``k``,
+        ``floor((tau − t_F)/T) − floor((tau − t_B − d_B)/T) + (h_B − h_F)``
+        — valid also when the backward wraps past the period boundary.
+        """
+        T = self.period
+        f = self.ops[(F, stage_idx)]
+        b = self.ops[(B, stage_idx)]
+        started = math.floor((tau - f.start + EPS) / T)
+        freed = math.floor((tau - b.end + EPS) / T)
+        return b.shift - f.shift + started - freed
+
+    def memory_peaks(self, chain: Chain) -> dict[int, float]:
+        """Steady-state peak memory (bytes) per processor.
+
+        Static terms (weights, communication buffers) follow the §3 model;
+        the activation term is evaluated at every forward-start and
+        backward-end event of the period.
+        """
+        alloc = self.allocation
+        peaks: dict[int, float] = {}
+        for p in alloc.procs_used():
+            stage_idxs = alloc.stages_on_proc(p)
+            static = 0.0
+            for i in stage_idxs:
+                s = alloc.stages[i]
+                bd = stage_memory_breakdown(chain, s.start, s.end, 0)
+                static += bd.weights + bd.buffers
+            events = {0.0}
+            for i in stage_idxs:
+                events.add(self.ops[(F, i)].start % self.period)
+                events.add(self.ops[(B, i)].end % self.period)
+            peak = 0.0
+            for tau in events:
+                act = sum(
+                    self.active_batches(i, tau) * alloc.stages[i].stored_activations(chain)
+                    for i in stage_idxs
+                )
+                peak = max(peak, static + act)
+            peaks[p] = peak
+        return peaks
+
+    def check_memory(self, chain: Chain, platform: Platform, tol: float = 1e-6) -> None:
+        """Raise :class:`PatternError` if any GPU exceeds its capacity."""
+        for p, peak in self.memory_peaks(chain).items():
+            if peak > platform.memory * (1 + tol):
+                raise PatternError(
+                    f"GPU {p} peak memory {peak / 2**30:.2f} GiB exceeds "
+                    f"capacity {platform.memory / 2**30:.2f} GiB"
+                )
+
+    @property
+    def throughput(self) -> float:
+        """Mini-batches per second in steady state (``1 / T``)."""
+        return 1.0 / self.period

@@ -1,0 +1,62 @@
+"""Execution platform model (paper §3).
+
+``P`` identical GPUs, each with ``memory`` bytes, every pair connected by a
+dedicated full-duplex-free link of ``bandwidth`` bytes/s (as in PipeDream and
+the paper, the link serializes the activation and gradient transfers of one
+boundary, hence ``C(l) = 2 a_l / β``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Platform", "GB", "GBPS"]
+
+GB = float(2**30)
+"""One gibibyte in bytes (the paper's memory unit)."""
+
+GBPS = float(2**30)
+"""One gibibyte per second in bytes/s (the paper's bandwidth unit)."""
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A homogeneous GPU platform.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of GPUs ``P`` (≥ 1).
+    memory:
+        Memory capacity ``M`` of each GPU, in bytes.
+    bandwidth:
+        Point-to-point link bandwidth ``β``, in bytes/s.
+    """
+
+    n_procs: int
+    memory: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError("need at least one processor")
+        if self.memory <= 0:
+            raise ValueError("memory must be positive")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @classmethod
+    def of(cls, n_procs: int, memory_gb: float, bandwidth_gbps: float) -> "Platform":
+        """Convenience constructor using the paper's units (GB, GB/s)."""
+        return cls(n_procs, memory_gb * GB, bandwidth_gbps * GBPS)
+
+    @property
+    def P(self) -> int:
+        """Alias for :attr:`n_procs` matching the paper's notation."""
+        return self.n_procs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Platform(P={self.n_procs}, M={self.memory / GB:.1f}GB, "
+            f"beta={self.bandwidth / GBPS:.0f}GB/s)"
+        )

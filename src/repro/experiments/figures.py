@@ -1,0 +1,213 @@
+"""Figure/table generators for the paper's evaluation (§5.2).
+
+Each ``figN_data`` function reduces a list of :class:`RunResult` into the
+series the corresponding figure plots; each ``render_figN`` turns that
+into an aligned text table (the repository's stand-in for the plots).
+
+* **Fig. 6** — period vs memory for one network: four series per
+  (P, β) panel — PipeDream DP estimate (dashed), PipeDream + 1F1B\\*
+  (solid), MadPipe DP estimate (dashed), MadPipe (solid).
+* **Fig. 7** — geometric mean, over P and β, of the ratio
+  ``period(PipeDream) / period(MadPipe)`` per (network, M).  > 1 means
+  MadPipe is faster.
+* **Fig. 8** — speedup ``U(1,L) / period`` vs P per network at several
+  memory sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .harness import RunResult
+
+__all__ = [
+    "Fig6Panel",
+    "fig6_data",
+    "render_fig6",
+    "fig7_data",
+    "render_fig7",
+    "fig8_data",
+    "render_fig8",
+]
+
+INF = float("inf")
+
+
+def _index(results: list[RunResult]) -> dict[tuple, RunResult]:
+    return {r.key: r for r in results}
+
+
+def _fmt(x: float, width: int = 8) -> str:
+    if x == INF:
+        return "inf".rjust(width)
+    return f"{x:.4f}".rjust(width)
+
+
+# ---------------------------------------------------------------- Fig. 6
+
+
+@dataclass
+class Fig6Panel:
+    """One (P, β) panel of Fig. 6: series over the memory axis."""
+
+    network: str
+    n_procs: int
+    bandwidth_gbps: float
+    memories_gb: list[float] = field(default_factory=list)
+    pipedream_dp: list[float] = field(default_factory=list)
+    pipedream_valid: list[float] = field(default_factory=list)
+    madpipe_dp: list[float] = field(default_factory=list)
+    madpipe_valid: list[float] = field(default_factory=list)
+
+
+def fig6_data(results: list[RunResult], network: str = "resnet50") -> list[Fig6Panel]:
+    """Assemble the Fig. 6 panels for one network."""
+    idx = _index(results)
+    panels: dict[tuple[int, float], Fig6Panel] = {}
+    mems = sorted(
+        {r.memory_gb for r in results if r.network == network}
+    )
+    combos = sorted(
+        {
+            (r.n_procs, r.bandwidth_gbps)
+            for r in results
+            if r.network == network
+        }
+    )
+    for p, b in combos:
+        panel = Fig6Panel(network, p, b)
+        for m in mems:
+            pd = idx.get((network, p, m, b, "pipedream"))
+            mp = idx.get((network, p, m, b, "madpipe"))
+            if pd is None and mp is None:
+                continue
+            panel.memories_gb.append(m)
+            panel.pipedream_dp.append(pd.dp_period if pd else INF)
+            panel.pipedream_valid.append(pd.valid_period if pd else INF)
+            panel.madpipe_dp.append(mp.dp_period if mp else INF)
+            panel.madpipe_valid.append(mp.valid_period if mp else INF)
+        panels[(p, b)] = panel
+    return [panels[k] for k in sorted(panels)]
+
+
+def render_fig6(panels: list[Fig6Panel]) -> str:
+    lines = []
+    for panel in panels:
+        lines.append(
+            f"Fig. 6 [{panel.network}] P={panel.n_procs} "
+            f"beta={panel.bandwidth_gbps:g} GB/s  (period in s, lower is better)"
+        )
+        lines.append(
+            f"{'M (GB)':>8} {'PD-DP':>8} {'PD-1F1B*':>9} {'MAD-DP':>8} {'MadPipe':>8}"
+        )
+        for i, m in enumerate(panel.memories_gb):
+            lines.append(
+                f"{m:8g} {_fmt(panel.pipedream_dp[i])} "
+                f"{_fmt(panel.pipedream_valid[i], 9)} "
+                f"{_fmt(panel.madpipe_dp[i])} {_fmt(panel.madpipe_valid[i])}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- Fig. 7
+
+
+def fig7_data(
+    results: list[RunResult],
+) -> dict[str, list[tuple[float, float, int]]]:
+    """Per network: list of ``(M, geomean ratio, n_cases)`` over (P, β).
+
+    The ratio is PipeDream's valid period over MadPipe's.  Instances
+    where MadPipe is infeasible are skipped; instances where *only*
+    PipeDream is infeasible contribute the ratio of the sequential
+    period over MadPipe (a finite, conservative stand-in for ∞ — the
+    practitioner's fallback is a single-GPU-equivalent schedule).
+    """
+    idx = _index(results)
+    networks = sorted({r.network for r in results})
+    mems = sorted({r.memory_gb for r in results})
+    combos = sorted({(r.n_procs, r.bandwidth_gbps) for r in results})
+    out: dict[str, list[tuple[float, float, int]]] = {}
+    for network in networks:
+        rows = []
+        for m in mems:
+            logs = []
+            for p, b in combos:
+                pd = idx.get((network, p, m, b, "pipedream"))
+                mp = idx.get((network, p, m, b, "madpipe"))
+                if pd is None or mp is None or not mp.feasible:
+                    continue
+                pd_period = (
+                    pd.valid_period if pd.feasible else pd.sequential
+                )
+                logs.append(math.log(pd_period / mp.valid_period))
+            if logs:
+                rows.append((m, math.exp(sum(logs) / len(logs)), len(logs)))
+        out[network] = rows
+    return out
+
+
+def render_fig7(data: dict[str, list[tuple[float, float, int]]]) -> str:
+    lines = [
+        "Fig. 7 — geomean of period(PipeDream)/period(MadPipe) over P and beta",
+        "(> 1 means MadPipe is faster)",
+        "",
+    ]
+    mems = sorted({m for rows in data.values() for (m, _, _) in rows})
+    header = f"{'M (GB)':>8}" + "".join(f"{n:>14}" for n in data)
+    lines.append(header)
+    by_net = {n: {m: v for (m, v, _) in rows} for n, rows in data.items()}
+    for m in mems:
+        row = f"{m:8g}"
+        for n in data:
+            v = by_net[n].get(m)
+            row += f"{v:14.3f}" if v is not None else f"{'-':>14}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- Fig. 8
+
+
+def fig8_data(
+    results: list[RunResult],
+) -> dict[tuple[str, float, str], list[tuple[int, float]]]:
+    """Speedup ``U(1,L)/period`` vs P, keyed by (network, M, algorithm).
+
+    Bandwidth is averaged out by taking, for each P, the best (largest)
+    speedup across the available β values (the paper plots per-β lines;
+    at this granularity the curves are nearly identical)."""
+    best: dict[tuple[str, float, str, int], float] = {}
+    for r in results:
+        if not r.feasible:
+            continue
+        k = (r.network, r.memory_gb, r.algorithm, r.n_procs)
+        best[k] = max(best.get(k, 0.0), r.speedup)
+    out: dict[tuple[str, float, str], list[tuple[int, float]]] = {}
+    for (network, m, algo, p), s in sorted(best.items()):
+        out.setdefault((network, m, algo), []).append((p, s))
+    return out
+
+
+def render_fig8(
+    data: dict[tuple[str, float, str], list[tuple[int, float]]]
+) -> str:
+    lines = ["Fig. 8 — speedup U(1,L)/period vs P (higher is better)", ""]
+    networks = sorted({k[0] for k in data})
+    for network in networks:
+        keys = sorted(k for k in data if k[0] == network)
+        procs = sorted({p for k in keys for (p, _) in data[k]})
+        lines.append(f"[{network}]")
+        lines.append(
+            f"{'M (GB)':>8} {'algo':>10}" + "".join(f"{f'P={p}':>8}" for p in procs)
+        )
+        for _, m, algo in keys:
+            series = dict(data[(network, m, algo)])
+            row = f"{m:8g} {algo:>10}"
+            for p in procs:
+                row += f"{series[p]:8.2f}" if p in series else f"{'-':>8}"
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)

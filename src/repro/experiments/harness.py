@@ -1,0 +1,202 @@
+"""Experiment harness: run algorithms over scenario grids, cache results.
+
+Every (network, P, M, β, algorithm) instance yields a :class:`RunResult`
+with both the optimizer's own estimate (``dp_period``, the dashed lines
+of Fig. 6) and the certified valid-schedule period (``valid_period``, the
+solid lines).  Results serialize to JSON so that expensive sweeps run
+once and the figure generators replay them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..algorithms.madpipe import madpipe
+from ..algorithms.madpipe_dp import Discretization
+from ..algorithms.pipedream import pipedream
+from ..core.chain import Chain
+from ..core.platform import GB, GBPS, Platform
+from .scenarios import paper_chain
+
+__all__ = [
+    "RunResult",
+    "run_instance",
+    "run_grid",
+    "save_results",
+    "load_results",
+    "ResultCache",
+]
+
+INF = float("inf")
+
+
+@dataclass
+class RunResult:
+    """One algorithm run on one scenario."""
+
+    network: str
+    n_procs: int
+    memory_gb: float
+    bandwidth_gbps: float
+    algorithm: str  # "pipedream" | "madpipe"
+    dp_period: float  # the optimizer's internal estimate (dashed)
+    valid_period: float  # certified schedule period (solid); inf if none
+    n_stages: int
+    runtime_s: float
+    sequential: float  # U(1, L), for speedups
+
+    @property
+    def feasible(self) -> bool:
+        return self.valid_period != INF
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential / self.valid_period if self.feasible else 0.0
+
+    @property
+    def key(self) -> tuple:
+        return (
+            self.network,
+            self.n_procs,
+            self.memory_gb,
+            self.bandwidth_gbps,
+            self.algorithm,
+        )
+
+
+def run_instance(
+    chain: Chain,
+    platform: Platform,
+    algorithm: str,
+    *,
+    network: str = "",
+    grid: Discretization | None = None,
+    iterations: int = 10,
+    ilp_time_limit: float = 60.0,
+) -> RunResult:
+    """Run one algorithm on one (chain, platform) instance."""
+    t0 = time.perf_counter()
+    if algorithm == "pipedream":
+        res = pipedream(chain, platform)
+        dp, valid = res.dp_period, res.period
+        n_stages = res.partitioning.n_stages if res.feasible else 0
+    elif algorithm == "madpipe":
+        res = madpipe(
+            chain,
+            platform,
+            grid=grid,
+            iterations=iterations,
+            ilp_time_limit=ilp_time_limit,
+        )
+        dp, valid = res.dp_period, res.period
+        n_stages = res.allocation.n_stages if res.allocation is not None else 0
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return RunResult(
+        network=network or chain.name,
+        n_procs=platform.n_procs,
+        memory_gb=platform.memory / GB,
+        bandwidth_gbps=platform.bandwidth / GBPS,
+        algorithm=algorithm,
+        dp_period=dp,
+        valid_period=valid,
+        n_stages=n_stages,
+        runtime_s=time.perf_counter() - t0,
+        sequential=chain.total_compute(),
+    )
+
+
+def run_grid(
+    networks: tuple[str, ...],
+    procs: tuple[int, ...],
+    memories_gb: tuple[float, ...],
+    bandwidths_gbps: tuple[float, ...],
+    *,
+    algorithms: tuple[str, ...] = ("pipedream", "madpipe"),
+    grid: Discretization | None = None,
+    iterations: int = 10,
+    ilp_time_limit: float = 60.0,
+    cache: "ResultCache | None" = None,
+    verbose: bool = False,
+) -> list[RunResult]:
+    """Run a full scenario grid, replaying cached instances if available."""
+    out: list[RunResult] = []
+    for network in networks:
+        chain = paper_chain(network)
+        for p in procs:
+            for b in bandwidths_gbps:
+                for m in memories_gb:
+                    platform = Platform.of(p, m, b)
+                    for algo in algorithms:
+                        key = (network, p, float(m), float(b), algo)
+                        hit = cache.get(key) if cache is not None else None
+                        if hit is not None:
+                            out.append(hit)
+                            continue
+                        r = run_instance(
+                            chain,
+                            platform,
+                            algo,
+                            network=network,
+                            grid=grid,
+                            iterations=iterations,
+                            ilp_time_limit=ilp_time_limit,
+                        )
+                        if cache is not None:
+                            cache.put(r)
+                        if verbose:
+                            print(
+                                f"{network} P={p} M={m} beta={b} {algo}: "
+                                f"dp={r.dp_period:.4f} valid={r.valid_period:.4f} "
+                                f"({r.runtime_s:.1f}s)"
+                            )
+                        out.append(r)
+    return out
+
+
+def save_results(results: list[RunResult], path: str | Path) -> None:
+    """Persist results as JSON (``inf`` encoded as ``null``)."""
+    payload = []
+    for r in results:
+        d = asdict(r)
+        for k in ("dp_period", "valid_period"):
+            if d[k] == INF:
+                d[k] = None
+        payload.append(d)
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_results(path: str | Path) -> list[RunResult]:
+    """Load results written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    out = []
+    for d in payload:
+        for k in ("dp_period", "valid_period"):
+            if d[k] is None:
+                d[k] = INF
+        out.append(RunResult(**d))
+    return out
+
+
+class ResultCache:
+    """A tiny JSON-backed instance cache keyed by scenario tuple."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._data: dict[tuple, RunResult] = {}
+        if self.path.exists():
+            for r in load_results(self.path):
+                self._data[r.key] = r
+
+    def get(self, key: tuple) -> RunResult | None:
+        return self._data.get(key)
+
+    def put(self, result: RunResult) -> None:
+        self._data[result.key] = result
+        save_results(list(self._data.values()), self.path)
+
+    def __len__(self) -> int:
+        return len(self._data)

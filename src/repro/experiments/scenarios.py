@@ -1,0 +1,75 @@
+"""Paper evaluation scenarios (§5.1).
+
+Networks: ResNet-50, ResNet-101, Inception, DenseNet-121 — profiled at
+1000×1000 images, batch size 8, on a V100-class device.  Platforms:
+P ∈ {2..8} GPUs, M ∈ [3, 16] GB, β ∈ {12, 24} GB/s.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.chain import Chain
+from ..core.platform import Platform
+from ..models import densenet121, inception, linearize, resnet50, resnet101
+from ..profiling import V100, profile_model
+
+__all__ = [
+    "network_builders",
+    "PAPER_NETWORKS",
+    "PAPER_MEMORIES_GB",
+    "PAPER_PROCS",
+    "PAPER_BANDWIDTHS_GBPS",
+    "FIG8_PROCS",
+    "paper_chain",
+    "paper_platforms",
+]
+
+PAPER_NETWORKS = ("resnet50", "resnet101", "inception", "densenet121")
+PAPER_MEMORIES_GB = (3, 4, 6, 8, 10, 12, 14, 16)
+PAPER_PROCS = (2, 4, 8)
+FIG8_PROCS = (2, 3, 4, 5, 6, 7, 8)
+PAPER_BANDWIDTHS_GBPS = (12, 24)
+
+_BUILDERS = {
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "inception": inception,
+    "densenet121": densenet121,
+}
+
+
+def network_builders() -> dict:
+    """Name → builder map for the paper networks (a copy; safe to extend)."""
+    return dict(_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def paper_chain(
+    network: str, *, image_size: int = 1000, batch_size: int = 8
+) -> Chain:
+    """Profiled, linearized chain of one of the paper's networks."""
+    try:
+        builder = _BUILDERS[network]
+    except KeyError:
+        raise ValueError(
+            f"unknown network {network!r}; choose from {PAPER_NETWORKS}"
+        ) from None
+    graph = builder(image_size=image_size)
+    profile_model(graph, V100, batch_size)
+    return linearize(graph)
+
+
+def paper_platforms(
+    *,
+    procs: tuple[int, ...] = PAPER_PROCS,
+    memories_gb: tuple[float, ...] = PAPER_MEMORIES_GB,
+    bandwidths_gbps: tuple[float, ...] = PAPER_BANDWIDTHS_GBPS,
+) -> list[Platform]:
+    """The cartesian platform grid of the paper's simulations."""
+    return [
+        Platform.of(p, m, b)
+        for p in procs
+        for m in memories_gb
+        for b in bandwidths_gbps
+    ]

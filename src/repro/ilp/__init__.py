@@ -1,0 +1,12 @@
+"""Phase-2 scheduling ILP (periodic pattern MILP on HiGHS)."""
+
+from .formulation import ScheduleMILP, build_milp
+from .solver import ILPScheduleResult, schedule_allocation, solve_fixed_period
+
+__all__ = [
+    "ScheduleMILP",
+    "build_milp",
+    "ILPScheduleResult",
+    "schedule_allocation",
+    "solve_fixed_period",
+]

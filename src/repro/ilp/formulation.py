@@ -1,0 +1,245 @@
+"""MILP formulation of periodic-pattern scheduling at a fixed period (§4.3).
+
+Adapted from the ILP of ref. [1] to the stage chains produced by MadPipe's
+phase 1: stages are super-layers with durations ``U_F(s)/U_B(s)``,
+communication ops carry ``a_s`` (the boundary activation), while memory
+constraints charge the *stored activation cost* ``ā_s = Σ_{i∈s} a_{i-1}``.
+
+For a fixed period ``T`` the pattern semantics of §3 become linear:
+
+* start times ``t_o ∈ [0, T − d_o]`` (operations do not wrap) and integer
+  index shifts ``h_o ≥ 0``;
+* a same-batch dependency ``u → v`` is
+  ``(h_v − h_u)·T + t_v − t_u ≥ d_u``;
+* two ops on one resource get a disjunction binary ``y``
+  (``y = 1`` ⇔ first op precedes the second inside the period);
+* the per-GPU memory peak is checked just after every forward start,
+  where the number of active batches of stage ``s'`` is
+  ``h_{B_{s'}} − h_{F_{s'}} + [F_{s'} before event] − [B_{s'} before
+  event]`` and the bracket indicators are exactly the ``y`` binaries of
+  the GPU's resource disjunctions.
+
+The objective minimizes the total number of in-flight batches
+``Σ_s (h_{B_s} − h_{F_s})``, which steers the solver toward low-memory
+patterns among the feasible ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint
+
+from ..core.chain import Chain
+from ..core.memory import stage_memory_breakdown
+from ..core.partition import Allocation
+from ..core.pattern import gpu, link
+from ..core.platform import Platform
+
+__all__ = ["ScheduleMILP", "build_milp"]
+
+OpKey = tuple[str, int]
+
+
+@dataclass
+class ScheduleMILP:
+    """A ready-to-solve MILP instance for one (allocation, period) pair."""
+
+    period: float
+    ops: list[OpKey]
+    durations: dict[OpKey, float]
+    resources: dict[OpKey, tuple]
+    t_index: dict[OpKey, int]
+    h_index: dict[OpKey, int]
+    y_index: dict[tuple[OpKey, OpKey], int]
+    c: np.ndarray
+    constraints: list[LinearConstraint]
+    integrality: np.ndarray
+    bounds: Bounds
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.c)
+
+
+def _operations(
+    chain: Chain, platform: Platform, allocation: Allocation
+) -> tuple[list[OpKey], dict[OpKey, float], dict[OpKey, tuple]]:
+    ops: list[OpKey] = []
+    dur: dict[OpKey, float] = {}
+    res: dict[OpKey, tuple] = {}
+    stages, procs = allocation.stages, allocation.procs
+    for i, s in enumerate(stages):
+        for kind, d in (("F", s.forward(chain)), ("B", s.backward(chain))):
+            key = (kind, i)
+            ops.append(key)
+            dur[key] = d
+            res[key] = gpu(procs[i])
+    for i in range(len(stages) - 1):
+        if procs[i] == procs[i + 1]:
+            continue
+        half = chain.activation(stages[i].end) / platform.bandwidth
+        for kind in ("CF", "CB"):
+            key = (kind, i)
+            ops.append(key)
+            dur[key] = half
+            res[key] = link(procs[i], procs[i + 1])
+    return ops, dur, res
+
+
+def _dependencies(allocation: Allocation, res: dict[OpKey, tuple]) -> list[tuple[OpKey, OpKey]]:
+    n = allocation.n_stages
+    edges: list[tuple[OpKey, OpKey]] = []
+    for i in range(n - 1):
+        if ("CF", i) in res:
+            edges.append((("F", i), ("CF", i)))
+            edges.append((("CF", i), ("F", i + 1)))
+            edges.append((("B", i + 1), ("CB", i)))
+            edges.append((("CB", i), ("B", i)))
+        else:
+            edges.append((("F", i), ("F", i + 1)))
+            edges.append((("B", i + 1), ("B", i)))
+    for i in range(n):
+        edges.append((("F", i), ("B", i)))
+    return edges
+
+
+def build_milp(
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    period: float,
+    *,
+    max_shift: int | None = None,
+) -> ScheduleMILP:
+    """Assemble the MILP for scheduling ``allocation`` with period ``T``."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    T = period
+    ops, dur, res = _operations(chain, platform, allocation)
+    n_ops = len(ops)
+    if max_shift is None:
+        max_shift = 2 * n_ops  # generous: depth never exceeds the op count
+
+    t_index = {o: i for i, o in enumerate(ops)}
+    h_index = {o: n_ops + i for i, o in enumerate(ops)}
+    n_vars = 2 * n_ops
+
+    # resource disjunction binaries
+    by_resource: dict[tuple, list[OpKey]] = {}
+    for o in ops:
+        by_resource.setdefault(res[o], []).append(o)
+    y_index: dict[tuple[OpKey, OpKey], int] = {}
+    for r_ops in by_resource.values():
+        for a_i in range(len(r_ops)):
+            for b_i in range(a_i + 1, len(r_ops)):
+                y_index[(r_ops[a_i], r_ops[b_i])] = n_vars
+                n_vars += 1
+
+    rows: list[dict[int, float]] = []
+    lbs: list[float] = []
+    ubs: list[float] = []
+
+    def add_row(coeffs: dict[int, float], lb: float, ub: float = np.inf) -> None:
+        rows.append(coeffs)
+        lbs.append(lb)
+        ubs.append(ub)
+
+    # dependencies: T*(h_v - h_u) + t_v - t_u >= d_u
+    for u, v in _dependencies(allocation, res):
+        coeffs = {h_index[v]: T, h_index[u]: -T}
+        # u == v is impossible; t coefficients may collide only if u == v
+        coeffs[t_index[v]] = coeffs.get(t_index[v], 0.0) + 1.0
+        coeffs[t_index[u]] = coeffs.get(t_index[u], 0.0) - 1.0
+        add_row(coeffs, dur[u])
+
+    # resource disjunctions:
+    #   a before b (y=1): t_b - t_a - T*y >= d_a - T
+    #   b before a (y=0): t_a - t_b + T*y >= d_b
+    for (a, b), yi in y_index.items():
+        add_row({t_index[b]: 1.0, t_index[a]: -1.0, yi: -T}, dur[a] - T)
+        add_row({t_index[a]: 1.0, t_index[b]: -1.0, yi: T}, dur[b])
+
+    # memory: for each GPU p and each stage s on p, just after F_s starts
+    def order_var(before: OpKey, after: OpKey) -> tuple[int, float, float]:
+        """Return (var, coeff, const) such that [before precedes after]
+        equals coeff*y[var] + const."""
+        if (before, after) in y_index:
+            return y_index[(before, after)], 1.0, 0.0
+        return y_index[(after, before)], -1.0, 1.0
+
+    M = platform.memory
+    for p in allocation.procs_used():
+        stage_idxs = allocation.stages_on_proc(p)
+        static = 0.0
+        for i in stage_idxs:
+            s = allocation.stages[i]
+            bd = stage_memory_breakdown(chain, s.start, s.end, 0)
+            static += bd.weights + bd.buffers
+        for s_i in stage_idxs:  # event: start of F_{s_i}
+            coeffs: dict[int, float] = {}
+            const = static
+            for s_j in stage_idxs:
+                abar = allocation.stages[s_j].stored_activations(chain)
+                if abar == 0.0:
+                    continue
+                coeffs[h_index[("B", s_j)]] = coeffs.get(h_index[("B", s_j)], 0.0) + abar
+                coeffs[h_index[("F", s_j)]] = coeffs.get(h_index[("F", s_j)], 0.0) - abar
+                if s_j == s_i:
+                    const += abar  # F_s itself has just started
+                else:
+                    var, coef, cst = order_var(("F", s_j), ("F", s_i))
+                    coeffs[var] = coeffs.get(var, 0.0) + abar * coef
+                    const += abar * cst
+                var, coef, cst = order_var(("B", s_j), ("F", s_i))
+                coeffs[var] = coeffs.get(var, 0.0) - abar * coef
+                const -= abar * cst
+            if coeffs:
+                add_row(coeffs, -np.inf, M - const)
+            elif const > M:
+                raise ValueError(
+                    f"static memory {const:.3g} exceeds capacity on GPU {p}"
+                )
+
+    # assemble
+    A = np.zeros((len(rows), n_vars))
+    for r, coeffs in enumerate(rows):
+        for idx, val in coeffs.items():
+            A[r, idx] = val
+    constraints = [LinearConstraint(A, np.array(lbs), np.array(ubs))]
+
+    lb = np.zeros(n_vars)
+    ub = np.empty(n_vars)
+    for o in ops:
+        ub[t_index[o]] = max(T - dur[o], 0.0)
+        ub[h_index[o]] = max_shift
+    for yi in y_index.values():
+        ub[yi] = 1.0
+    # anchor: F of stage 0 has shift 0 (the paper's convention)
+    ub[h_index[("F", 0)]] = 0.0
+
+    integrality = np.zeros(n_vars)
+    for o in ops:
+        integrality[h_index[o]] = 1
+    for yi in y_index.values():
+        integrality[yi] = 1
+
+    c = np.zeros(n_vars)
+    for i in range(allocation.n_stages):
+        c[h_index[("B", i)]] += 1.0
+        c[h_index[("F", i)]] -= 1.0
+
+    return ScheduleMILP(
+        period=T,
+        ops=ops,
+        durations=dur,
+        resources=res,
+        t_index=t_index,
+        h_index=h_index,
+        y_index=y_index,
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+    )

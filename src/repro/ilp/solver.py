@@ -1,0 +1,144 @@
+"""Solve the scheduling MILP and search the smallest feasible period (§4.3).
+
+``schedule_allocation`` runs a binary search on the period ``T``: each
+probe solves the fixed-``T`` feasibility MILP of
+:mod:`repro.ilp.formulation` with HiGHS (``scipy.optimize.milp``).  The
+lower bound is the allocation's bottleneck load; the upper bound is the
+fully sequential period (one batch in flight), which is feasible whenever
+the allocation fits in memory at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import milp
+
+from ..core.chain import Chain
+from ..core.partition import Allocation
+from ..core.pattern import Op, PeriodicPattern
+from ..core.platform import Platform
+from .formulation import ScheduleMILP, build_milp
+
+__all__ = ["ILPScheduleResult", "solve_fixed_period", "schedule_allocation"]
+
+
+@dataclass
+class ILPScheduleResult:
+    """A valid periodic pattern found by the ILP, or infeasibility."""
+
+    period: float
+    pattern: PeriodicPattern | None
+    probes: list[tuple[float, bool]]  # (T, feasible) binary-search trace
+
+    @property
+    def feasible(self) -> bool:
+        return self.pattern is not None
+
+
+def _extract_pattern(
+    milp_model: ScheduleMILP, x: np.ndarray, allocation: Allocation
+) -> PeriodicPattern:
+    pattern = PeriodicPattern(allocation=allocation, period=milp_model.period)
+    for o in milp_model.ops:
+        kind, index = o
+        pattern.add(
+            Op(
+                kind=kind,
+                index=index,
+                resource=milp_model.resources[o],
+                start=float(x[milp_model.t_index[o]]),
+                duration=milp_model.durations[o],
+                shift=int(round(x[milp_model.h_index[o]])),
+            )
+        )
+    pattern.normalize()
+    return pattern
+
+
+def solve_fixed_period(
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    period: float,
+    *,
+    time_limit: float = 60.0,
+) -> PeriodicPattern | None:
+    """Feasibility MILP at a fixed period; returns a pattern or ``None``.
+
+    A time-limit hit without an incumbent is reported as infeasible
+    (conservative, as in the paper's one-minute ILP budget).
+    """
+    try:
+        model = build_milp(chain, platform, allocation, period)
+    except ValueError:
+        return None  # static memory alone exceeds capacity
+    res = milp(
+        model.c,
+        constraints=model.constraints,
+        integrality=model.integrality,
+        bounds=model.bounds,
+        options={"time_limit": time_limit, "presolve": True},
+    )
+    if not res.success or res.x is None:
+        return None
+    pattern = _extract_pattern(model, res.x, allocation)
+    try:
+        pattern.validate(chain, platform)
+        pattern.check_memory(chain, platform, tol=1e-6)
+    except Exception:
+        return None  # numerical artifacts: treat as infeasible probe
+    return pattern
+
+
+def _sequential_period(chain: Chain, platform: Platform, allocation: Allocation) -> float:
+    """Period of the one-batch-in-flight schedule (always load-feasible)."""
+    total = 0.0
+    for i, s in enumerate(allocation.stages):
+        total += s.compute(chain)
+        if i < allocation.n_stages - 1 and allocation.procs[i] != allocation.procs[i + 1]:
+            total += 2.0 * chain.activation(s.end) / platform.bandwidth
+    return total
+
+
+def schedule_allocation(
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    *,
+    rel_tol: float = 5e-3,
+    max_probes: int = 20,
+    time_limit: float = 60.0,
+) -> ILPScheduleResult:
+    """Smallest-period valid pattern for ``allocation`` via binary search.
+
+    The returned period is within ``rel_tol`` of the smallest period the
+    MILP can certify feasible.
+    """
+    lower = allocation.period_lower_bound(chain, platform)
+    upper = _sequential_period(chain, platform, allocation)
+    probes: list[tuple[float, bool]] = []
+
+    best = solve_fixed_period(chain, platform, allocation, lower, time_limit=time_limit)
+    probes.append((lower, best is not None))
+    if best is not None:
+        return ILPScheduleResult(lower, best, probes)
+
+    pattern = solve_fixed_period(chain, platform, allocation, upper, time_limit=time_limit)
+    probes.append((upper, pattern is not None))
+    if pattern is None:
+        return ILPScheduleResult(float("inf"), None, probes)
+    best, best_T = pattern, upper
+
+    lo, hi = lower, upper
+    while len(probes) < max_probes and hi - lo > rel_tol * lo:
+        mid = (lo + hi) / 2
+        pattern = solve_fixed_period(chain, platform, allocation, mid, time_limit=time_limit)
+        probes.append((mid, pattern is not None))
+        if pattern is not None:
+            best, best_T = pattern, mid
+            hi = mid
+        else:
+            lo = mid
+    return ILPScheduleResult(best_T, best, probes)

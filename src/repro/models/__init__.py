@@ -1,0 +1,30 @@
+"""Model zoo substrate: layer specs, DAGs, builders and the linearizer."""
+
+from .densenet import densenet, densenet121
+from .graph import ModelGraph
+from .inception import inception
+from .linearize import coarsen, linearize
+from .mobilenet import mobilenet_v1
+from .resnet import resnet, resnet50, resnet101
+from .synthetic import random_chain, uniform_chain
+from .transformer import transformer_encoder
+from .unet import unet
+from .vgg import vgg16
+
+__all__ = [
+    "ModelGraph",
+    "linearize",
+    "coarsen",
+    "resnet",
+    "resnet50",
+    "resnet101",
+    "inception",
+    "densenet",
+    "densenet121",
+    "vgg16",
+    "mobilenet_v1",
+    "transformer_encoder",
+    "unet",
+    "random_chain",
+    "uniform_chain",
+]

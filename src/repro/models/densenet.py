@@ -1,0 +1,85 @@
+"""DenseNet-121 builder (Huang et al.) as a :class:`ModelGraph` DAG.
+
+Dense blocks are expressed with a running concatenated tensor:
+``x_{i+1} = concat(x_i, H(x_i))`` where ``H`` is BN–ReLU–Conv1×1(4k)–
+BN–ReLU–Conv3×3(k).  Written this way, the tensor between two dense
+layers is a single serialization point, so the linearizer produces one
+chain layer per dense layer — the fine-grained chain the memory-aware
+algorithms need.
+"""
+
+from __future__ import annotations
+
+from .graph import ModelGraph
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+__all__ = ["densenet121", "densenet"]
+
+
+def _dense_layer(g: ModelGraph, x: str, growth: int, tag: str) -> str:
+    y = g.add_layer(BatchNorm2d(), x, name=f"{tag}.bn1")
+    y = g.add_layer(ReLU(), y, name=f"{tag}.relu1")
+    y = g.add_layer(Conv2d(4 * growth, 1, 1, 0), y, name=f"{tag}.conv1")
+    y = g.add_layer(BatchNorm2d(), y, name=f"{tag}.bn2")
+    y = g.add_layer(ReLU(), y, name=f"{tag}.relu2")
+    y = g.add_layer(Conv2d(growth, 3, 1, 1), y, name=f"{tag}.conv2")
+    return g.add_layer(Concat(), x, y, name=f"{tag}.concat")
+
+
+def _transition(g: ModelGraph, x: str, out_ch: int, tag: str) -> str:
+    x = g.add_layer(BatchNorm2d(), x, name=f"{tag}.bn")
+    x = g.add_layer(ReLU(), x, name=f"{tag}.relu")
+    x = g.add_layer(Conv2d(out_ch, 1, 1, 0), x, name=f"{tag}.conv")
+    return g.add_layer(AvgPool2d(2, 2), x, name=f"{tag}.pool")
+
+
+def densenet(
+    block_config: tuple[int, ...],
+    *,
+    growth: int = 32,
+    image_size: int = 1000,
+    num_classes: int = 1000,
+    name: str = "densenet",
+) -> ModelGraph:
+    """Build a DenseNet with the given dense-block sizes."""
+    g = ModelGraph(name)
+    x = g.input((3, image_size, image_size))
+    x = g.add_layer(Conv2d(2 * growth, 7, 2, 3), x, name="stem.conv")
+    x = g.add_layer(BatchNorm2d(), x, name="stem.bn")
+    x = g.add_layer(ReLU(), x, name="stem.relu")
+    x = g.add_layer(MaxPool2d(3, 2, 1), x, name="stem.pool")
+    channels = 2 * growth
+    for bi, n_layers in enumerate(block_config):
+        for li in range(n_layers):
+            x = _dense_layer(g, x, growth, f"db{bi + 1}.l{li + 1}")
+            channels += growth
+        if bi < len(block_config) - 1:
+            channels //= 2
+            x = _transition(g, x, channels, f"tr{bi + 1}")
+    x = g.add_layer(BatchNorm2d(), x, name="head.bn")
+    x = g.add_layer(ReLU(), x, name="head.relu")
+    x = g.add_layer(GlobalAvgPool2d(), x, name="gap")
+    x = g.add_layer(Flatten(), x, name="flatten")
+    g.add_layer(Linear(num_classes), x, name="fc")
+    return g
+
+
+def densenet121(*, image_size: int = 1000, num_classes: int = 1000) -> ModelGraph:
+    """DenseNet-121 (paper network #4)."""
+    return densenet(
+        (6, 12, 24, 16),
+        growth=32,
+        image_size=image_size,
+        num_classes=num_classes,
+        name="densenet121",
+    )

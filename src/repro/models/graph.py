@@ -1,0 +1,138 @@
+"""DNN computational graphs as DAGs of :class:`LayerSpec` nodes.
+
+A :class:`ModelGraph` is a single-source, single-sink DAG built with a
+small functional API::
+
+    g = ModelGraph("toy")
+    x = g.input((3, 224, 224))
+    y = g.add_layer(Conv2d(64, 7, stride=2, padding=3), x)
+    ...
+
+After :meth:`propagate_shapes`, every node carries its output shape and
+the analytic accounting (parameters, forward/backward FLOPs, memory
+traffic) used by the cost model and the linearizer.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .layers import Input, LayerSpec, Shape
+
+__all__ = ["ModelGraph"]
+
+
+class ModelGraph:
+    """A layered computational DAG with deterministic node ordering."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.g = nx.DiGraph()
+        self._counter = 0
+        self._input: str | None = None
+        self._shapes_ready = False
+
+    # -- construction --------------------------------------------------------
+
+    def input(self, shape: Shape, name: str = "input") -> str:
+        """Declare the (single) network input."""
+        if self._input is not None:
+            raise ValueError("graph already has an input")
+        node = self._new_node(Input(tuple(shape)), name)
+        self._input = node
+        return node
+
+    def add_layer(self, spec: LayerSpec, *preds: str, name: str | None = None) -> str:
+        """Append a layer consuming the outputs of ``preds``."""
+        if not preds:
+            raise ValueError("layer needs at least one predecessor")
+        if spec.arity == 1 and len(preds) != 1:
+            raise ValueError(f"{type(spec).__name__} takes exactly one input")
+        node = self._new_node(spec, name or type(spec).__name__.lower())
+        for i, p in enumerate(preds):
+            if p not in self.g:
+                raise KeyError(f"unknown predecessor {p!r}")
+            self.g.add_edge(p, node, order=i)
+        self._shapes_ready = False
+        return node
+
+    def _new_node(self, spec: LayerSpec, name: str) -> str:
+        node = f"{self._counter:04d}:{name}"
+        self._counter += 1
+        self.g.add_node(node, spec=spec, index=self._counter - 1)
+        return node
+
+    # -- structure -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.g.number_of_nodes()
+
+    def topo_order(self) -> list[str]:
+        """Topological order, deterministic (ties broken by insertion)."""
+        return list(
+            nx.lexicographical_topological_sort(
+                self.g, key=lambda n: self.g.nodes[n]["index"]
+            )
+        )
+
+    @property
+    def source(self) -> str:
+        if self._input is None:
+            raise ValueError("graph has no input")
+        return self._input
+
+    @property
+    def sink(self) -> str:
+        sinks = [n for n in self.g if self.g.out_degree(n) == 0]
+        if len(sinks) != 1:
+            raise ValueError(f"graph must have exactly one sink, found {sinks}")
+        return sinks[0]
+
+    def spec(self, node: str) -> LayerSpec:
+        return self.g.nodes[node]["spec"]
+
+    def predecessors_in_order(self, node: str) -> list[str]:
+        preds = list(self.g.predecessors(node))
+        preds.sort(key=lambda p: self.g.edges[p, node]["order"])
+        return preds
+
+    # -- analysis -----------------------------------------------------------------
+
+    def propagate_shapes(self) -> None:
+        """Fill per-node ``shape``/``params``/``fwd_flops``/``bwd_flops``/
+        ``mem_traffic`` attributes by a topological sweep."""
+        if self._input is None:
+            raise ValueError("graph has no input")
+        if not nx.is_directed_acyclic_graph(self.g):
+            raise ValueError("graph has a cycle")
+        for node in self.topo_order():
+            data = self.g.nodes[node]
+            spec: LayerSpec = data["spec"]
+            in_shapes = tuple(
+                self.g.nodes[p]["shape"] for p in self.predecessors_in_order(node)
+            )
+            data["shape"] = spec.out_shape(*in_shapes)
+            data["params"] = spec.param_count(*in_shapes)
+            data["fwd_flops"] = spec.fwd_flops(*in_shapes)
+            data["bwd_flops"] = spec.bwd_flops(*in_shapes)
+            data["mem_traffic"] = spec.mem_traffic(*in_shapes) if in_shapes else 0.0
+        self._shapes_ready = True
+
+    def _require_shapes(self) -> None:
+        if not self._shapes_ready:
+            self.propagate_shapes()
+
+    def shape(self, node: str) -> Shape:
+        self._require_shapes()
+        return self.g.nodes[node]["shape"]
+
+    def total_params(self) -> int:
+        self._require_shapes()
+        return sum(self.g.nodes[n]["params"] for n in self.g)
+
+    def total_fwd_flops(self) -> float:
+        self._require_shapes()
+        return sum(self.g.nodes[n]["fwd_flops"] for n in self.g)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelGraph({self.name!r}, nodes={len(self)})"

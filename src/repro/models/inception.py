@@ -1,0 +1,78 @@
+"""Inception (GoogLeNet-style) builder as a :class:`ModelGraph` DAG.
+
+Nine Inception modules (4 parallel branches merged by channel concat)
+with the canonical GoogLeNet channel configuration — the "Inception"
+network of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from .graph import ModelGraph
+from .layers import (
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+__all__ = ["inception"]
+
+# (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj) per module
+_MODULES = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _conv_bn_relu(
+    g: ModelGraph, x: str, out_ch: int, kernel: int, stride: int, padding: int, tag: str
+) -> str:
+    x = g.add_layer(Conv2d(out_ch, kernel, stride, padding), x, name=f"{tag}.conv")
+    x = g.add_layer(BatchNorm2d(), x, name=f"{tag}.bn")
+    return g.add_layer(ReLU(), x, name=f"{tag}.relu")
+
+
+def _inception_module(g: ModelGraph, x: str, cfg: tuple[int, ...], tag: str) -> str:
+    c1, r3, c3, r5, c5, pp = cfg
+    b1 = _conv_bn_relu(g, x, c1, 1, 1, 0, f"{tag}.b1")
+    b2 = _conv_bn_relu(g, x, r3, 1, 1, 0, f"{tag}.b2a")
+    b2 = _conv_bn_relu(g, b2, c3, 3, 1, 1, f"{tag}.b2b")
+    b3 = _conv_bn_relu(g, x, r5, 1, 1, 0, f"{tag}.b3a")
+    b3 = _conv_bn_relu(g, b3, c5, 5, 1, 2, f"{tag}.b3b")
+    b4 = g.add_layer(MaxPool2d(3, 1, 1), x, name=f"{tag}.b4.pool")
+    b4 = _conv_bn_relu(g, b4, pp, 1, 1, 0, f"{tag}.b4")
+    return g.add_layer(Concat(), b1, b2, b3, b4, name=f"{tag}.concat")
+
+
+def inception(*, image_size: int = 1000, num_classes: int = 1000) -> ModelGraph:
+    """GoogLeNet-style Inception (paper network #3)."""
+    g = ModelGraph("inception")
+    x = g.input((3, image_size, image_size))
+    x = _conv_bn_relu(g, x, 64, 7, 2, 3, "stem1")
+    x = g.add_layer(MaxPool2d(3, 2, 1), x, name="pool1")
+    x = _conv_bn_relu(g, x, 64, 1, 1, 0, "stem2")
+    x = _conv_bn_relu(g, x, 192, 3, 1, 1, "stem3")
+    x = g.add_layer(MaxPool2d(3, 2, 1), x, name="pool2")
+    for key in ("3a", "3b"):
+        x = _inception_module(g, x, _MODULES[key], f"inc{key}")
+    x = g.add_layer(MaxPool2d(3, 2, 1), x, name="pool3")
+    for key in ("4a", "4b", "4c", "4d", "4e"):
+        x = _inception_module(g, x, _MODULES[key], f"inc{key}")
+    x = g.add_layer(MaxPool2d(3, 2, 1), x, name="pool4")
+    for key in ("5a", "5b"):
+        x = _inception_module(g, x, _MODULES[key], f"inc{key}")
+    x = g.add_layer(GlobalAvgPool2d(), x, name="gap")
+    x = g.add_layer(Flatten(), x, name="flatten")
+    g.add_layer(Linear(num_classes), x, name="fc")
+    return g

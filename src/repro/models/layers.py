@@ -1,0 +1,405 @@
+"""Layer specifications with shape propagation and analytic cost accounting.
+
+This module is the bottom of the profiling substrate that replaces the
+paper's PyTorch measurements: every layer type knows how to
+
+* propagate a per-sample tensor shape (``channels, height, width`` for
+  spatial tensors, ``(features,)`` after flattening),
+* count its trainable parameters,
+* count its forward FLOPs (multiply-accumulate counted as 2 FLOPs), and
+* report the bytes it reads/writes (used by the cost model for
+  memory-bound layers such as ReLU/BN/pooling).
+
+Shapes are per-sample; the cost model scales by the mini-batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Shape",
+    "LayerSpec",
+    "Input",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Linear",
+    "Dropout",
+    "Add",
+    "Concat",
+    "Upsample",
+    "TokenEmbedding",
+    "LayerNorm",
+    "SelfAttention",
+    "FeedForward",
+    "numel",
+]
+
+Shape = tuple[int, ...]
+"""Per-sample tensor shape: ``(C, H, W)`` spatial or ``(N,)`` flat."""
+
+
+def numel(shape: Shape) -> int:
+    """Number of elements of a per-sample tensor."""
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"spatial size {size} too small for kernel {kernel}/stride {stride}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class: a shape transformer with analytic costs.
+
+    Sub-classes override the four accounting methods.  ``arity`` is the
+    number of inputs (1 for ordinary layers, ``None`` for variadic merge
+    nodes like :class:`Add` / :class:`Concat`).
+    """
+
+    arity = 1
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        raise NotImplementedError
+
+    def param_count(self, *inputs: Shape) -> int:
+        """Trainable scalar parameters."""
+        return 0
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        """Forward floating-point operations for one sample."""
+        return 0.0
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        """Backward FLOPs for one sample.  Default: the usual 2× forward
+        (gradient w.r.t. inputs + gradient w.r.t. parameters); parameter-free
+        layers override to 1×."""
+        return 2.0 * self.fwd_flops(*inputs)
+
+    def mem_traffic(self, *inputs: Shape) -> float:
+        """Elements read + written in the forward pass (for memory-bound
+        layers this dominates the runtime)."""
+        total_in = sum(numel(s) for s in inputs)
+        return float(total_in + numel(self.out_shape(*inputs)))
+
+
+@dataclass(frozen=True)
+class Input(LayerSpec):
+    """Source placeholder carrying the network input shape."""
+
+    shape: Shape
+
+    arity = 0
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        if inputs:
+            raise ValueError("Input takes no predecessors")
+        return self.shape
+
+
+@dataclass(frozen=True)
+class Conv2d(LayerSpec):
+    """2-D convolution with square kernel, optional bias and groups
+    (``groups == in_channels`` gives a depthwise convolution)."""
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    bias: bool = False
+    groups: int = 1
+
+    def _check_groups(self, c_in: int) -> None:
+        if self.groups < 1:
+            raise ValueError("groups must be >= 1")
+        if c_in % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"channels ({c_in} -> {self.out_channels}) not divisible "
+                f"by groups ({self.groups})"
+            )
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        (c, h, w) = inputs[0]
+        self._check_groups(c)
+        return (
+            self.out_channels,
+            _conv_out(h, self.kernel, self.stride, self.padding),
+            _conv_out(w, self.kernel, self.stride, self.padding),
+        )
+
+    def param_count(self, *inputs: Shape) -> int:
+        c_in = inputs[0][0]
+        self._check_groups(c_in)
+        n = self.kernel * self.kernel * (c_in // self.groups) * self.out_channels
+        if self.bias:
+            n += self.out_channels
+        return n
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        c_in = inputs[0][0]
+        _, h_out, w_out = self.out_shape(*inputs)
+        return (
+            2.0
+            * self.kernel**2
+            * (c_in // self.groups)
+            * self.out_channels
+            * h_out
+            * w_out
+        )
+
+
+@dataclass(frozen=True)
+class BatchNorm2d(LayerSpec):
+    """Batch normalization (scale + shift per channel)."""
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        return inputs[0]
+
+    def param_count(self, *inputs: Shape) -> int:
+        return 2 * inputs[0][0]
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return 4.0 * numel(inputs[0])  # normalize + affine
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return 4.0 * numel(inputs[0])
+
+
+@dataclass(frozen=True)
+class ReLU(LayerSpec):
+    def out_shape(self, *inputs: Shape) -> Shape:
+        return inputs[0]
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(inputs[0]))
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(inputs[0]))
+
+
+@dataclass(frozen=True)
+class MaxPool2d(LayerSpec):
+    kernel: int
+    stride: int
+    padding: int = 0
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        (c, h, w) = inputs[0]
+        return (
+            c,
+            _conv_out(h, self.kernel, self.stride, self.padding),
+            _conv_out(w, self.kernel, self.stride, self.padding),
+        )
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return float(self.kernel**2 * numel(self.out_shape(*inputs)))
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(inputs[0]))
+
+
+@dataclass(frozen=True)
+class AvgPool2d(MaxPool2d):
+    pass
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool2d(LayerSpec):
+    def out_shape(self, *inputs: Shape) -> Shape:
+        (c, _h, _w) = inputs[0]
+        return (c,)
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(inputs[0]))
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(inputs[0]))
+
+
+@dataclass(frozen=True)
+class Flatten(LayerSpec):
+    def out_shape(self, *inputs: Shape) -> Shape:
+        return (numel(inputs[0]),)
+
+
+@dataclass(frozen=True)
+class Linear(LayerSpec):
+    out_features: int
+    bias: bool = True
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        if len(inputs[0]) != 1:
+            raise ValueError("Linear expects a flat input (use Flatten)")
+        return (self.out_features,)
+
+    def param_count(self, *inputs: Shape) -> int:
+        n = inputs[0][0] * self.out_features
+        if self.bias:
+            n += self.out_features
+        return n
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return 2.0 * inputs[0][0] * self.out_features
+
+
+@dataclass(frozen=True)
+class Dropout(LayerSpec):
+    rate: float = 0.5
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        return inputs[0]
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(inputs[0]))
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(inputs[0]))
+
+
+@dataclass(frozen=True)
+class Add(LayerSpec):
+    """Element-wise sum merge (residual connections)."""
+
+    arity = None
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        first = inputs[0]
+        if any(s != first for s in inputs):
+            raise ValueError(f"Add requires identical shapes, got {inputs}")
+        return first
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return float((len(inputs) - 1) * numel(inputs[0]))
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return 0.0  # gradient fan-out is a copy
+
+
+@dataclass(frozen=True)
+class Concat(LayerSpec):
+    """Channel-wise concatenation merge (Inception / DenseNet)."""
+
+    arity = None
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        first = inputs[0]
+        if any(len(s) != 3 or s[1:] != first[1:] for s in inputs):
+            raise ValueError(f"Concat requires matching spatial dims, got {inputs}")
+        return (sum(s[0] for s in inputs), first[1], first[2])
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return 0.0  # pure data movement
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Upsample(LayerSpec):
+    """Nearest-neighbour spatial upsampling (decoder paths, e.g. U-Net)."""
+
+    scale: int = 2
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        (c, h, w) = inputs[0]
+        return (c, h * self.scale, w * self.scale)
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(self.out_shape(*inputs)))
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(self.out_shape(*inputs)))
+
+
+# ---- sequence-model specs (shapes are (seq_len, d_model)) -----------------
+
+
+@dataclass(frozen=True)
+class TokenEmbedding(LayerSpec):
+    """Token + position embedding: ``(seq,) -> (seq, d_model)``."""
+
+    vocab: int
+    d_model: int
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        (s,) = inputs[0]
+        return (s, self.d_model)
+
+    def param_count(self, *inputs: Shape) -> int:
+        (s,) = inputs[0]
+        return self.vocab * self.d_model + s * self.d_model
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(self.out_shape(*inputs)))  # lookup + add
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return float(numel(self.out_shape(*inputs)))
+
+
+@dataclass(frozen=True)
+class LayerNorm(LayerSpec):
+    def out_shape(self, *inputs: Shape) -> Shape:
+        return inputs[0]
+
+    def param_count(self, *inputs: Shape) -> int:
+        return 2 * inputs[0][-1]
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        return 5.0 * numel(inputs[0])
+
+    def bwd_flops(self, *inputs: Shape) -> float:
+        return 5.0 * numel(inputs[0])
+
+
+@dataclass(frozen=True)
+class SelfAttention(LayerSpec):
+    """Multi-head self-attention on ``(seq, d)``: QKV + output projections
+    (``8·s·d²`` MAC-free FLOPs counted as 2x) plus the ``s×s`` attention
+    matmuls (``4·s²·d``)."""
+
+    heads: int = 8
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        (s, d) = inputs[0]
+        if d % self.heads:
+            raise ValueError(f"d_model {d} not divisible by {self.heads} heads")
+        return (s, d)
+
+    def param_count(self, *inputs: Shape) -> int:
+        (_s, d) = inputs[0]
+        return 4 * d * d + 4 * d  # QKV+O with bias
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        (s, d) = inputs[0]
+        return 8.0 * s * d * d + 4.0 * s * s * d
+
+
+@dataclass(frozen=True)
+class FeedForward(LayerSpec):
+    """Transformer FFN ``d -> hidden -> d`` on ``(seq, d)``."""
+
+    hidden: int
+
+    def out_shape(self, *inputs: Shape) -> Shape:
+        return inputs[0]
+
+    def param_count(self, *inputs: Shape) -> int:
+        (_s, d) = inputs[0]
+        return 2 * d * self.hidden + self.hidden + d
+
+    def fwd_flops(self, *inputs: Shape) -> float:
+        (s, d) = inputs[0]
+        return 4.0 * s * d * self.hidden

@@ -1,0 +1,91 @@
+"""ResNet-50 / ResNet-101 builders (He et al.), as :class:`ModelGraph` DAGs.
+
+Bottleneck residual blocks with the standard stage configuration
+(3,4,6,3) for ResNet-50 and (3,4,23,3) for ResNet-101.  The paper
+evaluates both at 1000×1000 inputs, batch size 8.
+"""
+
+from __future__ import annotations
+
+from .graph import ModelGraph
+from .layers import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+__all__ = ["resnet50", "resnet101", "resnet"]
+
+_CONFIGS = {
+    "resnet50": (3, 4, 6, 3),
+    "resnet101": (3, 4, 23, 3),
+}
+
+
+def _conv_bn_relu(
+    g: ModelGraph, x: str, out_ch: int, kernel: int, stride: int, padding: int, tag: str
+) -> str:
+    x = g.add_layer(Conv2d(out_ch, kernel, stride, padding), x, name=f"{tag}.conv")
+    x = g.add_layer(BatchNorm2d(), x, name=f"{tag}.bn")
+    return g.add_layer(ReLU(), x, name=f"{tag}.relu")
+
+
+def _bottleneck(
+    g: ModelGraph, x: str, mid_ch: int, stride: int, project: bool, tag: str
+) -> str:
+    out_ch = 4 * mid_ch
+    y = _conv_bn_relu(g, x, mid_ch, 1, 1, 0, f"{tag}.a")
+    y = _conv_bn_relu(g, y, mid_ch, 3, stride, 1, f"{tag}.b")
+    y = g.add_layer(Conv2d(out_ch, 1, 1, 0), y, name=f"{tag}.c.conv")
+    y = g.add_layer(BatchNorm2d(), y, name=f"{tag}.c.bn")
+    if project:
+        s = g.add_layer(Conv2d(out_ch, 1, stride, 0), x, name=f"{tag}.down.conv")
+        s = g.add_layer(BatchNorm2d(), s, name=f"{tag}.down.bn")
+    else:
+        s = x
+    z = g.add_layer(Add(), y, s, name=f"{tag}.add")
+    return g.add_layer(ReLU(), z, name=f"{tag}.out")
+
+
+def resnet(
+    depth_config: tuple[int, int, int, int],
+    *,
+    image_size: int = 1000,
+    num_classes: int = 1000,
+    name: str = "resnet",
+) -> ModelGraph:
+    """Build a bottleneck ResNet with the given per-stage block counts."""
+    g = ModelGraph(name)
+    x = g.input((3, image_size, image_size))
+    x = _conv_bn_relu(g, x, 64, 7, 2, 3, "stem")
+    x = g.add_layer(MaxPool2d(3, 2, 1), x, name="stem.pool")
+    mid = 64
+    for stage, blocks in enumerate(depth_config):
+        for b in range(blocks):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            project = b == 0
+            x = _bottleneck(g, x, mid, stride, project, f"s{stage + 1}.b{b + 1}")
+        mid *= 2
+    x = g.add_layer(GlobalAvgPool2d(), x, name="gap")
+    x = g.add_layer(Flatten(), x, name="flatten")
+    g.add_layer(Linear(num_classes), x, name="fc")
+    return g
+
+
+def resnet50(*, image_size: int = 1000, num_classes: int = 1000) -> ModelGraph:
+    """ResNet-50 (paper network #1)."""
+    return resnet(
+        _CONFIGS["resnet50"], image_size=image_size, num_classes=num_classes, name="resnet50"
+    )
+
+
+def resnet101(*, image_size: int = 1000, num_classes: int = 1000) -> ModelGraph:
+    """ResNet-101 (paper network #2)."""
+    return resnet(
+        _CONFIGS["resnet101"], image_size=image_size, num_classes=num_classes, name="resnet101"
+    )

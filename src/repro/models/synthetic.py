@@ -1,0 +1,70 @@
+"""Synthetic chain generators for tests, property-based testing and
+benchmarks that should not depend on the model zoo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.chain import Chain, LayerProfile
+
+__all__ = ["random_chain", "uniform_chain"]
+
+
+def random_chain(
+    L: int,
+    *,
+    seed: int | None = 0,
+    rng: np.random.Generator | None = None,
+    time_scale: float = 0.05,
+    weight_scale: float = 50e6,
+    act_scale: float = 200e6,
+    decay: float = 0.0,
+    name: str = "random",
+) -> Chain:
+    """Random chain of ``L`` layers.
+
+    ``decay > 0`` makes activations shrink geometrically along the chain
+    (CNN-like: early layers carry the big tensors), which is the regime
+    that stresses the memory-aware algorithms.
+    """
+    if L < 1:
+        raise ValueError("L must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    atten = np.exp(-decay * np.arange(L + 1))
+    layers = [
+        LayerProfile(
+            name=f"l{i + 1}",
+            u_f=float(rng.uniform(0.1, 1.0) * time_scale),
+            u_b=float(rng.uniform(0.2, 2.0) * time_scale),
+            weights=float(rng.uniform(0.05, 1.0) * weight_scale),
+            activation=float(rng.uniform(0.2, 1.0) * act_scale * atten[i + 1]),
+        )
+        for i in range(L)
+    ]
+    input_act = float(rng.uniform(0.2, 1.0) * act_scale)
+    return Chain(layers, input_act, name=name)
+
+
+def uniform_chain(
+    L: int,
+    *,
+    u_f: float = 1.0,
+    u_b: float = 2.0,
+    weights: float = 1e6,
+    activation: float = 1e6,
+    input_activation: float | None = None,
+    name: str = "uniform",
+) -> Chain:
+    """Perfectly homogeneous chain — load balancing is trivial, so tests
+    can isolate memory/communication effects."""
+    layers = [
+        LayerProfile(name=f"l{i + 1}", u_f=u_f, u_b=u_b, weights=weights, activation=activation)
+        for i in range(L)
+    ]
+    return Chain(
+        layers,
+        input_activation if input_activation is not None else activation,
+        name=name,
+    )

@@ -1,0 +1,39 @@
+"""Transformer encoder builder (GPT/BERT-style blocks on ``(seq, d)``).
+
+Pre-norm blocks with residual connections; the linearizer groups every
+block into one chain layer, giving the homogeneous chains that
+PipeDream-2BW-style systems target — a useful contrast to the
+heterogeneous CNN chains of the paper.
+"""
+
+from __future__ import annotations
+
+from .graph import ModelGraph
+from .layers import Add, FeedForward, LayerNorm, SelfAttention, TokenEmbedding
+
+__all__ = ["transformer_encoder"]
+
+
+def transformer_encoder(
+    *,
+    n_layers: int = 12,
+    d_model: int = 768,
+    heads: int = 12,
+    seq_len: int = 512,
+    vocab: int = 32000,
+    ffn_ratio: int = 4,
+) -> ModelGraph:
+    """A BERT-base-like encoder by default (12 × 768, 512 tokens)."""
+    g = ModelGraph(f"transformer{n_layers}x{d_model}")
+    x = g.input((seq_len,))
+    x = g.add_layer(TokenEmbedding(vocab, d_model), x, name="embed")
+    for i in range(n_layers):
+        tag = f"blk{i + 1}"
+        a = g.add_layer(LayerNorm(), x, name=f"{tag}.ln1")
+        a = g.add_layer(SelfAttention(heads), a, name=f"{tag}.attn")
+        x = g.add_layer(Add(), x, a, name=f"{tag}.res1")
+        f = g.add_layer(LayerNorm(), x, name=f"{tag}.ln2")
+        f = g.add_layer(FeedForward(ffn_ratio * d_model), f, name=f"{tag}.ffn")
+        x = g.add_layer(Add(), x, f, name=f"{tag}.res2")
+    g.add_layer(LayerNorm(), x, name="final_ln")
+    return g

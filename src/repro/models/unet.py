@@ -1,0 +1,54 @@
+"""U-Net builder — encoder/decoder with long skip connections.
+
+The skips make almost the whole network a single strongly-connected
+region from the linearizer's point of view: only the pre-encoder stem
+and the post-decoder head are serialization points.  That is the honest
+answer for pipelining a U-Net as a chain, and a good stress test that
+the linearizer degrades gracefully instead of mis-cutting.
+"""
+
+from __future__ import annotations
+
+from .graph import ModelGraph
+from .layers import BatchNorm2d, Concat, Conv2d, MaxPool2d, ReLU, Upsample
+
+__all__ = ["unet"]
+
+
+def _double_conv(g, x, out_ch, tag):
+    for i in (1, 2):
+        x = g.add_layer(Conv2d(out_ch, 3, 1, 1), x, name=f"{tag}.conv{i}")
+        x = g.add_layer(BatchNorm2d(), x, name=f"{tag}.bn{i}")
+        x = g.add_layer(ReLU(), x, name=f"{tag}.relu{i}")
+    return x
+
+
+def unet(
+    *,
+    image_size: int = 512,
+    in_channels: int = 3,
+    base_channels: int = 64,
+    depth: int = 4,
+    num_classes: int = 2,
+) -> ModelGraph:
+    """Classic U-Net: ``depth`` down/up levels with skip concatenations."""
+    if image_size % (2**depth):
+        raise ValueError(f"image size must be divisible by {2 ** depth}")
+    g = ModelGraph("unet")
+    x = g.input((in_channels, image_size, image_size))
+    skips = []
+    ch = base_channels
+    for d in range(depth):
+        x = _double_conv(g, x, ch, f"enc{d + 1}")
+        skips.append(x)
+        x = g.add_layer(MaxPool2d(2, 2), x, name=f"down{d + 1}")
+        ch *= 2
+    x = _double_conv(g, x, ch, "bottleneck")
+    for d in range(depth - 1, -1, -1):
+        ch //= 2
+        x = g.add_layer(Upsample(2), x, name=f"up{d + 1}")
+        x = g.add_layer(Conv2d(ch, 1, 1, 0), x, name=f"up{d + 1}.reduce")
+        x = g.add_layer(Concat(), skips[d], x, name=f"skip{d + 1}")
+        x = _double_conv(g, x, ch, f"dec{d + 1}")
+    g.add_layer(Conv2d(num_classes, 1, 1, 0), x, name="head")
+    return g

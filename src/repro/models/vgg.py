@@ -1,0 +1,35 @@
+"""VGG-16 builder — a purely sequential network, useful as a chain whose
+linearization is the identity (every tensor is a serialization point).
+"""
+
+from __future__ import annotations
+
+from .graph import ModelGraph
+from .layers import Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+
+__all__ = ["vgg16"]
+
+_CFG = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M")
+
+
+def vgg16(*, image_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """VGG-16 with batch-norm-free convolutional body."""
+    g = ModelGraph("vgg16")
+    x = g.input((3, image_size, image_size))
+    ci = 0
+    for item in _CFG:
+        if item == "M":
+            x = g.add_layer(MaxPool2d(2, 2), x, name=f"pool{ci}")
+        else:
+            ci += 1
+            x = g.add_layer(Conv2d(int(item), 3, 1, 1, bias=True), x, name=f"conv{ci}")
+            x = g.add_layer(ReLU(), x, name=f"relu{ci}")
+    x = g.add_layer(Flatten(), x, name="flatten")
+    x = g.add_layer(Linear(4096), x, name="fc1")
+    x = g.add_layer(ReLU(), x, name="fc1.relu")
+    x = g.add_layer(Dropout(), x, name="fc1.drop")
+    x = g.add_layer(Linear(4096), x, name="fc2")
+    x = g.add_layer(ReLU(), x, name="fc2.relu")
+    x = g.add_layer(Dropout(), x, name="fc2.drop")
+    g.add_layer(Linear(num_classes), x, name="fc3")
+    return g

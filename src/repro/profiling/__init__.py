@@ -1,0 +1,16 @@
+"""Profiling substrate: device cost model and profile persistence."""
+
+from .cost_model import profile_model
+from .device import RTX8000, V100, DeviceSpec
+from .io import dumps_chain, load_chain, loads_chain, save_chain
+
+__all__ = [
+    "profile_model",
+    "DeviceSpec",
+    "V100",
+    "RTX8000",
+    "save_chain",
+    "load_chain",
+    "dumps_chain",
+    "loads_chain",
+]

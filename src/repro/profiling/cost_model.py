@@ -1,0 +1,42 @@
+"""Turn a shape-annotated :class:`ModelGraph` into per-node timings.
+
+``profile_model`` attaches, to every graph node, the quantities the chain
+model needs (paper §3): forward/backward durations for a mini-batch of
+size ``B``, parameter bytes, and output activation bytes.
+"""
+
+from __future__ import annotations
+
+from ..models.graph import ModelGraph
+from ..models.layers import numel
+from .device import DeviceSpec
+
+__all__ = ["profile_model"]
+
+
+def profile_model(graph: ModelGraph, device: DeviceSpec, batch_size: int) -> None:
+    """Annotate ``graph`` nodes in place with ``u_f``, ``u_b``,
+    ``weight_bytes`` and ``act_bytes`` for the given device and batch size.
+
+    The backward pass moves roughly twice the forward traffic (it reads the
+    stored activations and the incoming gradient and writes the outgoing
+    gradient); compute-bound layers pay their analytic backward FLOPs.
+    """
+    if batch_size < 1:
+        raise ValueError("batch size must be >= 1")
+    graph.propagate_shapes()
+    bpe = device.bytes_per_element
+    for node in graph.topo_order():
+        data = graph.g.nodes[node]
+        ltype = type(data["spec"]).__name__
+        fwd_traffic = data["mem_traffic"] * batch_size * bpe
+        data["act_bytes"] = float(numel(data["shape"]) * batch_size * bpe)
+        data["weight_bytes"] = float(data["params"] * bpe)
+        if ltype == "Input":
+            data["u_f"] = 0.0
+            data["u_b"] = 0.0
+            continue
+        data["u_f"] = device.duration(ltype, data["fwd_flops"] * batch_size, fwd_traffic)
+        data["u_b"] = device.duration(
+            ltype, data["bwd_flops"] * batch_size, 2.0 * fwd_traffic
+        )

@@ -1,0 +1,85 @@
+"""Simulated device specifications.
+
+The paper profiles layers on a real GPU; offline we substitute a roofline
+cost model: a layer's duration is the kernel launch overhead plus the
+maximum of its compute time (FLOPs over effective throughput) and its
+memory time (bytes moved over memory bandwidth).  Effective throughput is
+the device peak scaled by a per-layer-type efficiency factor, reflecting
+that convolutions reach a large fraction of peak while element-wise and
+normalization kernels are bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["DeviceSpec", "V100", "RTX8000"]
+
+_DEFAULT_EFFICIENCY: Mapping[str, float] = MappingProxyType(
+    {
+        "Conv2d": 0.50,
+        "Linear": 0.60,
+        "BatchNorm2d": 0.05,
+        "ReLU": 0.05,
+        "MaxPool2d": 0.10,
+        "AvgPool2d": 0.10,
+        "GlobalAvgPool2d": 0.05,
+        "Add": 0.05,
+        "Concat": 0.05,
+        "Dropout": 0.05,
+        "Flatten": 0.05,
+    }
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A simulated accelerator.
+
+    Parameters
+    ----------
+    peak_flops:
+        fp32 peak throughput in FLOP/s.
+    mem_bandwidth:
+        Device memory bandwidth in bytes/s.
+    kernel_overhead:
+        Fixed launch/dispatch overhead per layer invocation, seconds.
+    efficiency:
+        Fraction of peak each layer type sustains when compute-bound.
+    bytes_per_element:
+        Tensor element size (4 for fp32 training).
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    kernel_overhead: float = 10e-6
+    efficiency: Mapping[str, float] = field(
+        default_factory=lambda: _DEFAULT_EFFICIENCY
+    )
+    bytes_per_element: int = 4
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("device rates must be positive")
+        if self.kernel_overhead < 0:
+            raise ValueError("negative kernel overhead")
+
+    def eff(self, layer_type: str) -> float:
+        """Efficiency factor for a layer type (default 0.10 if unknown)."""
+        return self.efficiency.get(layer_type, 0.10)
+
+    def duration(self, layer_type: str, flops: float, traffic_bytes: float) -> float:
+        """Roofline duration of one kernel in seconds."""
+        compute = flops / (self.peak_flops * self.eff(layer_type))
+        memory = traffic_bytes / self.mem_bandwidth
+        return self.kernel_overhead + max(compute, memory)
+
+
+V100 = DeviceSpec(name="V100", peak_flops=14e12, mem_bandwidth=900e9)
+"""NVIDIA V100-like device (the class of GPU used in the paper's platform)."""
+
+RTX8000 = DeviceSpec(name="RTX8000", peak_flops=16e12, mem_bandwidth=672e9)
+"""Quadro RTX 8000-like device (48 GB-class workstation GPU)."""

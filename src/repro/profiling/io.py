@@ -1,0 +1,36 @@
+"""Profile persistence: save/load chains as JSON.
+
+The optimization is meant to run once per (network, machine) pair; storing
+the profiled chain lets later runs skip the model zoo entirely — and lets
+users plug in *measured* profiles (e.g. from a real PyTorch run) in the
+same format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.chain import Chain
+
+__all__ = ["save_chain", "load_chain", "dumps_chain", "loads_chain"]
+
+
+def dumps_chain(chain: Chain) -> str:
+    """Serialize a chain to a JSON string."""
+    return json.dumps(chain.to_dict(), indent=2)
+
+
+def loads_chain(text: str) -> Chain:
+    """Deserialize a chain from a JSON string."""
+    return Chain.from_dict(json.loads(text))
+
+
+def save_chain(chain: Chain, path: str | Path) -> None:
+    """Write a chain profile to ``path`` as JSON."""
+    Path(path).write_text(dumps_chain(chain))
+
+
+def load_chain(path: str | Path) -> Chain:
+    """Read a chain profile written by :func:`save_chain`."""
+    return loads_chain(Path(path).read_text())

@@ -1,0 +1,14 @@
+"""Discrete-event simulation: pattern execution, eager 1F1B, validation."""
+
+from .eager import EagerReport, eager_1f1b
+from .engine import Execution, SimReport, simulate
+from .validator import verify_pattern
+
+__all__ = [
+    "EagerReport",
+    "eager_1f1b",
+    "Execution",
+    "SimReport",
+    "simulate",
+    "verify_pattern",
+]

@@ -1,0 +1,227 @@
+"""Discrete-event execution of periodic patterns.
+
+The simulator unrolls a pattern over ``K`` periods and *executes* it: every
+operation instance gets an absolute start time and a batch index, and the
+engine independently re-checks what the schedule promises — dependencies
+between instances, exclusive resource use, and the per-GPU memory
+occupancy over time (weights + communication buffers + one stored
+activation set per active batch).
+
+This is deliberately redundant with the analytic checks in
+:class:`repro.core.pattern.PeriodicPattern`: the algorithms are validated
+by running their output, not only by re-deriving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.chain import Chain
+from ..core.memory import stage_memory_breakdown
+from ..core.pattern import PeriodicPattern
+from ..core.platform import Platform
+
+__all__ = ["Execution", "SimReport", "simulate"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One executed operation instance."""
+
+    kind: str
+    index: int
+    batch: int
+    start: float
+    end: float
+    resource: tuple
+
+
+@dataclass
+class SimReport:
+    """Outcome of a pattern simulation."""
+
+    horizon: float
+    executions: list[Execution]
+    peak_memory: dict[int, float]
+    memory_timeline: dict[int, list[tuple[float, float]]]
+    completed_batches: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    steady_completions: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed mini-batches per second over the whole horizon
+        (includes pipeline warm-up; see :attr:`steady_throughput`)."""
+        return self.completed_batches / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def steady_throughput(self) -> float:
+        """Mini-batches per second over the second half of the horizon,
+        where the pipeline is full (converges to ``1/T``)."""
+        half = self.horizon / 2
+        return self.steady_completions / half if half > 0 else 0.0
+
+
+def simulate(
+    chain: Chain,
+    platform: Platform,
+    pattern: PeriodicPattern,
+    *,
+    periods: int = 10,
+    tol: float = 1e-6,
+) -> SimReport:
+    """Unroll and execute ``pattern`` for ``periods`` periods.
+
+    Batch indices below 0 (the warm-up prefix of the infinite schedule)
+    are skipped; dependency checks apply whenever both endpoints fall in
+    the simulated window.
+    """
+    T = pattern.period
+    alloc = pattern.allocation
+    horizon = periods * T
+
+    executions: list[Execution] = []
+    by_key_batch: dict[tuple[str, int, int], Execution] = {}
+    for k in range(periods):
+        for op in pattern.ops.values():
+            batch = k - op.shift
+            if batch < 0:
+                continue
+            e = Execution(
+                kind=op.kind,
+                index=op.index,
+                batch=batch,
+                start=k * T + op.start,
+                end=k * T + op.start + op.duration,
+                resource=op.resource,
+            )
+            executions.append(e)
+            by_key_batch[(op.kind, op.index, batch)] = e
+    executions.sort(key=lambda e: (e.start, e.end))
+
+    violations: list[str] = []
+
+    # resource exclusivity
+    by_resource: dict[tuple, list[Execution]] = {}
+    for e in executions:
+        by_resource.setdefault(e.resource, []).append(e)
+    for resource, execs in by_resource.items():
+        execs.sort(key=lambda e: e.start)
+        for a, b in zip(execs, execs[1:]):
+            if b.start < a.end - tol:
+                violations.append(
+                    f"resource {resource}: {a.kind}{a.index}[b{a.batch}] "
+                    f"overlaps {b.kind}{b.index}[b{b.batch}]"
+                )
+
+    # dependencies (same mini-batch), via the pattern's edge structure
+    for (uk, ui), (vk, vi) in pattern.dependency_edges():
+        u_shift = pattern.ops[(uk, ui)].shift
+        v_shift = pattern.ops[(vk, vi)].shift
+        for k in range(periods):
+            batch = k - v_shift
+            if batch < 0:
+                continue
+            v = by_key_batch.get((vk, vi, batch))
+            u = by_key_batch.get((uk, ui, batch))
+            if v is None:
+                continue
+            if u is None:
+                # producer instance lies outside the window (late periods)
+                if batch + u_shift < periods:
+                    violations.append(
+                        f"missing producer {uk}{ui}[b{batch}] for {vk}{vi}[b{batch}]"
+                    )
+                continue
+            if v.start < u.end - tol:
+                violations.append(
+                    f"dependency {uk}{ui}->{vk}{vi} broken for batch {batch}: "
+                    f"{v.start:.6f} < {u.end:.6f}"
+                )
+
+    peak, timeline = _memory_trace(chain, alloc, executions, horizon, tol)
+    for p, m in peak.items():
+        if m > platform.memory * (1 + tol):
+            violations.append(
+                f"GPU {p} peak memory {m / 2**30:.3f} GiB exceeds "
+                f"{platform.memory / 2**30:.3f} GiB"
+            )
+
+    finish_times = [
+        e.end for e in executions if e.kind == "B" and e.index == 0 and e.end <= horizon
+    ]
+    return SimReport(
+        horizon=horizon,
+        executions=executions,
+        peak_memory=peak,
+        memory_timeline=timeline,
+        completed_batches=len(finish_times),
+        violations=violations,
+        steady_completions=sum(1 for t in finish_times if t > horizon / 2),
+    )
+
+
+def _memory_trace(
+    chain: Chain,
+    alloc,
+    executions: list[Execution],
+    horizon: float,
+    tol: float = 1e-6,
+) -> tuple[dict[int, float], dict[int, list[tuple[float, float]]]]:
+    """Per-GPU memory as a step function: static (weights + buffers) plus
+    one stored-activation set per batch between its forward start and its
+    backward end.
+
+    The finite window under-counts the steady state near ``t = 0`` (the
+    infinite schedule's past is missing), so peaks are representative of
+    the *late* part of the window — callers should simulate enough
+    periods for the pipeline to fill.
+    """
+    static: dict[int, float] = {}
+    for p in alloc.procs_used():
+        s_total = 0.0
+        for i in alloc.stages_on_proc(p):
+            s = alloc.stages[i]
+            bd = stage_memory_breakdown(chain, s.start, s.end, 0)
+            s_total += bd.weights + bd.buffers
+        static[p] = s_total
+
+    events: dict[int, list[tuple[float, float]]] = {p: [] for p in static}
+    for e in executions:
+        if e.kind not in ("F", "B"):
+            continue
+        p = alloc.procs[e.index]
+        abar = alloc.stages[e.index].stored_activations(chain)
+        if e.kind == "F":
+            events[p].append((e.start, abar))
+        else:
+            events[p].append((e.end, -abar))
+
+    # Two events closer than the tolerance are simultaneous; frees apply
+    # before allocations (a backward that ends exactly when the next
+    # forward starts releases its activation first — the convention the
+    # schedule semantics and the ILP memory constraints use).
+    snap = max(tol * max(horizon, 1.0), 1e-12)
+    peak: dict[int, float] = {}
+    timeline: dict[int, list[tuple[float, float]]] = {}
+    for p, evs in events.items():
+        evs.sort(key=lambda td: (round(td[0] / snap), td[1]))
+        level = static[p]
+        best = level
+        steps = [(0.0, level)]
+        for t, delta in evs:
+            if t > horizon:
+                break
+            level += delta
+            steps.append((t, level))
+            best = max(best, level)
+        peak[p] = best
+        timeline[p] = steps
+    return peak, timeline

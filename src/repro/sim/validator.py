@@ -1,0 +1,52 @@
+"""One-stop verification of a periodic pattern.
+
+Combines the analytic checks (dependencies, resource exclusivity, memory
+peaks in steady state) with an actual discrete-event execution of the
+pattern, and cross-checks the two memory accounts against each other.
+"""
+
+from __future__ import annotations
+
+from ..core.chain import Chain
+from ..core.pattern import PatternError, PeriodicPattern
+from ..core.platform import Platform
+from .engine import SimReport, simulate
+
+__all__ = ["verify_pattern"]
+
+
+def verify_pattern(
+    chain: Chain,
+    platform: Platform,
+    pattern: PeriodicPattern,
+    *,
+    periods: int | None = None,
+    tol: float = 1e-6,
+) -> SimReport:
+    """Validate ``pattern`` analytically and by execution.
+
+    Raises :class:`PatternError` on any violation; returns the simulation
+    report on success.  ``periods`` defaults to enough periods for the
+    pipeline to fill plus a steady-state window.
+    """
+    pattern.validate(chain, platform, tol=tol)
+    pattern.check_memory(chain, platform, tol=tol)
+
+    if periods is None:
+        max_shift = max(op.shift for op in pattern.ops.values())
+        periods = max_shift + 5
+    report = simulate(chain, platform, pattern, periods=periods, tol=tol)
+    if not report.ok:
+        raise PatternError(
+            "simulation violations:\n  " + "\n  ".join(report.violations[:10])
+        )
+
+    # cross-check: executed peaks must match the analytic steady state
+    analytic = pattern.memory_peaks(chain)
+    for p, m_exec in report.peak_memory.items():
+        if m_exec > analytic[p] * (1 + tol) + 1.0:
+            raise PatternError(
+                f"GPU {p}: executed peak {m_exec:.6g} exceeds analytic "
+                f"steady state {analytic[p]:.6g}"
+            )
+    return report

@@ -1,0 +1,6 @@
+"""Text visualisation helpers."""
+
+from .gantt import render_gantt
+from .report import chain_report, schedule_report
+
+__all__ = ["render_gantt", "chain_report", "schedule_report"]

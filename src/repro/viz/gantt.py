@@ -1,0 +1,51 @@
+"""ASCII Gantt rendering of periodic patterns (the shape of Figs. 2/3/5).
+
+One line per resource; each operation is drawn over one period with its
+index shift in brackets, e.g. ``F2[0]`` / ``B2[1]``.  Wrapping operations
+are split at the period boundary.
+"""
+
+from __future__ import annotations
+
+from ..core.pattern import PeriodicPattern
+
+__all__ = ["render_gantt"]
+
+
+def _resource_label(resource: tuple) -> str:
+    if resource[0] == "gpu":
+        return f"GPU {resource[1]}"
+    return f"link {resource[1]}-{resource[2]}"
+
+
+def render_gantt(pattern: PeriodicPattern, *, width: int = 100) -> str:
+    """Render one period of ``pattern`` as text, one row per resource."""
+    T = pattern.period
+    scale = width / T
+
+    rows: dict[tuple, list] = {}
+    for op in pattern.ops.values():
+        rows.setdefault(op.resource, []).append(op)
+
+    def order_key(resource: tuple) -> tuple:
+        return (0 if resource[0] == "gpu" else 1,) + resource[1:]
+
+    lines = [f"period T = {T:.6g}s, {len(pattern.ops)} ops"]
+    for resource in sorted(rows, key=order_key):
+        canvas = [" "] * width
+        for op in sorted(rows[resource], key=lambda o: o.start):
+            label = f"{op.kind}{op.index}[{op.shift}]"
+            a = int(op.start * scale)
+            b = max(a + 1, int(op.end * scale))
+            for pos in range(a, min(b, 2 * width)):
+                canvas[pos % width] = "#" if op.kind in ("F", "CF") else "="
+            # place the label at the op start if it fits
+            for j, ch in enumerate(label):
+                pos = (a + j) % width
+                if a + j < b or canvas[pos] != " ":
+                    canvas[pos] = ch
+        lines.append(f"{_resource_label(resource):>10s} |{''.join(canvas)}|")
+    lines.append(
+        f"{'':>10s}  {'#'}=forward  {'='}=backward  [h]=index shift"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Shared fixtures: small chains and platforms that keep tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Chain, LayerProfile, Platform
+from repro.models import random_chain, uniform_chain
+
+MB = float(2**20)
+
+
+@pytest.fixture
+def tiny_chain() -> Chain:
+    """Four heterogeneous layers with hand-checkable numbers."""
+    return Chain(
+        layers=[
+            LayerProfile("a", u_f=1.0, u_b=2.0, weights=10 * MB, activation=40 * MB),
+            LayerProfile("b", u_f=2.0, u_b=3.0, weights=20 * MB, activation=30 * MB),
+            LayerProfile("c", u_f=1.5, u_b=2.5, weights=30 * MB, activation=20 * MB),
+            LayerProfile("d", u_f=0.5, u_b=1.0, weights=40 * MB, activation=10 * MB),
+        ],
+        input_activation=50 * MB,
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def uniform8() -> Chain:
+    """Eight identical layers — trivial load balancing."""
+    return uniform_chain(8, u_f=1.0, u_b=2.0, weights=4 * MB, activation=8 * MB)
+
+
+@pytest.fixture
+def cnnlike16() -> Chain:
+    """Sixteen random layers with CNN-like decaying activations."""
+    return random_chain(16, seed=7, decay=0.15, name="cnnlike16")
+
+
+@pytest.fixture
+def plat2() -> Platform:
+    return Platform.of(2, 1.0, 12)
+
+
+@pytest.fixture
+def plat4() -> Platform:
+    return Platform.of(4, 1.0, 12)
+
+
+@pytest.fixture
+def roomy4() -> Platform:
+    """Four GPUs with memory far beyond any test chain's needs."""
+    return Platform.of(4, 1024.0, 12)

@@ -1,0 +1,79 @@
+"""Tests for the batch-size capacity advisor."""
+
+import pytest
+
+from repro.algorithms import Discretization, max_feasible_batch
+from repro.core import Chain, LayerProfile, Platform
+
+MB = float(2**20)
+COARSE = Discretization.coarse()
+
+
+def chain_for_batch(b: int) -> Chain:
+    """Synthetic profile whose compute and activations scale with b."""
+    layers = [
+        LayerProfile(
+            f"l{i}",
+            u_f=0.01 * b,
+            u_b=0.02 * b,
+            weights=4 * MB,
+            activation=16 * MB * b,
+        )
+        for i in range(8)
+    ]
+    return Chain(layers, input_activation=16 * MB * b, name=f"b{b}")
+
+
+class TestMaxFeasibleBatch:
+    def test_finds_boundary(self):
+        plat = Platform.of(2, 1.0, 12)
+        advice = max_feasible_batch(
+            chain_for_batch, plat, max_batch=64, grid=COARSE, iterations=4
+        )
+        assert advice.feasible
+        b = advice.batch_size
+        assert 1 <= b < 64
+        # one more sample must not fit (bisection boundary)
+        from repro.algorithms import madpipe
+
+        beyond = madpipe(
+            chain_for_batch(b + 1), plat, grid=COARSE, iterations=4
+        )
+        assert not beyond.feasible
+
+    def test_roomy_platform_hits_cap(self):
+        plat = Platform.of(2, 1024.0, 12)
+        advice = max_feasible_batch(
+            chain_for_batch, plat, max_batch=16, grid=COARSE, iterations=4
+        )
+        assert advice.batch_size == 16
+
+    def test_hopeless_platform(self):
+        plat = Platform.of(2, 0.001, 12)
+        advice = max_feasible_batch(
+            chain_for_batch, plat, max_batch=8, grid=COARSE, iterations=4
+        )
+        assert not advice.feasible
+        assert advice.batch_size == 0
+
+    def test_samples_per_second(self):
+        plat = Platform.of(2, 1024.0, 12)
+        advice = max_feasible_batch(
+            chain_for_batch, plat, max_batch=4, grid=COARSE, iterations=4
+        )
+        assert advice.samples_per_second == pytest.approx(
+            4 / advice.result.period
+        )
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            max_feasible_batch(chain_for_batch, Platform.of(2, 1, 12), max_batch=0)
+
+    def test_probe_trace(self):
+        plat = Platform.of(2, 1.0, 12)
+        advice = max_feasible_batch(
+            chain_for_batch, plat, max_batch=32, grid=COARSE, iterations=4
+        )
+        probed = [b for b, _ in advice.probes]
+        assert probed[0] == 1 and probed[1] == 32
+        assert len(probed) >= 3

@@ -1,0 +1,106 @@
+"""Cost model and profile persistence tests."""
+
+import pytest
+
+from repro.models import vgg16, linearize, random_chain
+from repro.models.graph import ModelGraph
+from repro.models.layers import Conv2d, ReLU
+from repro.profiling import (
+    RTX8000,
+    V100,
+    DeviceSpec,
+    dumps_chain,
+    load_chain,
+    loads_chain,
+    profile_model,
+    save_chain,
+)
+
+
+class TestDeviceSpec:
+    def test_duration_roofline(self):
+        dev = DeviceSpec("toy", peak_flops=1e12, mem_bandwidth=1e11, kernel_overhead=0.0)
+        # compute-bound conv: 1e12 flops at 50% eff -> 2s; traffic negligible
+        assert dev.duration("Conv2d", 1e12, 1e3) == pytest.approx(
+            1e12 / (1e12 * dev.eff("Conv2d"))
+        )
+        # memory-bound relu: 1e10 bytes / 1e11 B/s = 0.1 s
+        assert dev.duration("ReLU", 1e3, 1e10) == pytest.approx(0.1)
+
+    def test_overhead_added(self):
+        dev = DeviceSpec("toy", peak_flops=1e12, mem_bandwidth=1e11, kernel_overhead=1e-5)
+        assert dev.duration("ReLU", 0.0, 0.0) == pytest.approx(1e-5)
+
+    def test_unknown_type_default_eff(self):
+        assert V100.eff("SomethingNew") == 0.10
+
+    def test_invalid_device(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", peak_flops=0, mem_bandwidth=1)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", peak_flops=1, mem_bandwidth=1, kernel_overhead=-1)
+
+    def test_builtin_devices_differ(self):
+        assert V100.peak_flops != RTX8000.peak_flops
+
+
+class TestProfileModel:
+    def small_graph(self) -> ModelGraph:
+        g = ModelGraph("t")
+        x = g.input((3, 32, 32))
+        x = g.add_layer(Conv2d(8, 3, padding=1), x, name="conv")
+        g.add_layer(ReLU(), x, name="relu")
+        return g
+
+    def test_annotations_present(self):
+        g = self.small_graph()
+        profile_model(g, V100, 4)
+        for n in g.g:
+            data = g.g.nodes[n]
+            assert "u_f" in data and "u_b" in data
+            assert data["u_f"] >= 0 and data["u_b"] >= 0
+            assert "act_bytes" in data and "weight_bytes" in data
+
+    def test_input_node_free(self):
+        g = self.small_graph()
+        profile_model(g, V100, 4)
+        assert g.g.nodes[g.source]["u_f"] == 0.0
+
+    def test_durations_scale_with_batch(self):
+        g1, g2 = self.small_graph(), self.small_graph()
+        profile_model(g1, V100, 1)
+        profile_model(g2, V100, 64)
+        conv1 = [n for n in g1.g if "conv" in n][0]
+        assert g2.g.nodes[conv1]["u_f"] > g1.g.nodes[conv1]["u_f"]
+        assert g2.g.nodes[conv1]["act_bytes"] == 64 * g1.g.nodes[conv1]["act_bytes"]
+
+    def test_backward_at_least_forward_for_conv(self):
+        g = vgg16(image_size=64)
+        profile_model(g, V100, 2)
+        for n in g.g:
+            if "conv" in n:
+                assert g.g.nodes[n]["u_b"] >= g.g.nodes[n]["u_f"]
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            profile_model(self.small_graph(), V100, 0)
+
+
+class TestProfileIO:
+    def test_json_roundtrip_string(self):
+        chain = random_chain(6, seed=3)
+        clone = loads_chain(dumps_chain(chain))
+        assert clone.L == chain.L
+        assert clone.total_compute() == pytest.approx(chain.total_compute())
+
+    def test_file_roundtrip(self, tmp_path):
+        g = vgg16(image_size=64)
+        profile_model(g, V100, 2)
+        chain = linearize(g)
+        path = tmp_path / "vgg.json"
+        save_chain(chain, path)
+        clone = load_chain(path)
+        assert clone.L == chain.L
+        assert clone.name == chain.name
+        for l in range(chain.L + 1):
+            assert clone.activation(l) == chain.activation(l)

@@ -1,0 +1,66 @@
+"""Tests for the eager 1F1B executor (PipeDream's scheduling policy)."""
+
+import pytest
+
+from repro.algorithms import min_feasible_period
+from repro.core import Allocation, Partitioning, Platform
+from repro.sim import eager_1f1b
+
+MB = float(2**20)
+
+
+class TestEager1F1B:
+    def test_completes_all_batches(self, uniform8, roomy4):
+        alloc = Allocation.contiguous(Partitioning.from_cuts(8, [2, 4, 6]))
+        rep = eager_1f1b(uniform8, roomy4, alloc, n_batches=16)
+        completions = [e for e in rep.executions if e[0] == "B" and e[1] == 0]
+        assert len(completions) == 16
+
+    def test_steady_period_at_least_bottleneck(self, uniform8, roomy4):
+        alloc = Allocation.contiguous(Partitioning.from_cuts(8, [2, 4, 6]))
+        rep = eager_1f1b(uniform8, roomy4, alloc, n_batches=24)
+        lb = alloc.period_lower_bound(uniform8, roomy4)
+        assert rep.steady_period >= lb * 0.99
+
+    def test_deeper_pipeline_not_slower(self, cnnlike16, roomy4):
+        alloc = Allocation.contiguous(Partitioning.from_cuts(16, [4, 8, 12]))
+        shallow = eager_1f1b(cnnlike16, roomy4, alloc, n_batches=24, depth=1)
+        deep = eager_1f1b(cnnlike16, roomy4, alloc, n_batches=24, depth=4)
+        assert deep.makespan <= shallow.makespan * 1.01
+
+    def test_depth_one_is_sequential(self, uniform8, roomy4):
+        alloc = Allocation.contiguous(Partitioning.from_cuts(8, [4]))
+        rep = eager_1f1b(uniform8, roomy4, alloc, n_batches=8, depth=1)
+        # one batch in flight: period == full round trip
+        seq = 24.0 + 4 * uniform8.activation(4) / roomy4.bandwidth
+        assert rep.steady_period == pytest.approx(seq, rel=0.01)
+
+    def test_memory_grows_with_depth(self, cnnlike16, roomy4):
+        alloc = Allocation.contiguous(Partitioning.from_cuts(16, [4, 8, 12]))
+        m1 = eager_1f1b(cnnlike16, roomy4, alloc, n_batches=24, depth=1).peak_memory
+        m4 = eager_1f1b(cnnlike16, roomy4, alloc, n_batches=24, depth=4).peak_memory
+        assert m4[0] >= m1[0]
+        assert max(m4.values()) > max(m1.values()) * 0.99
+
+    def test_eager_memory_never_below_optimal_pattern(self, cnnlike16, roomy4):
+        """Proposition 1 consequence: 1F1B* uses the fewest active batches
+        of all schedules achieving its period.  The eager run at the same
+        effective rate must use at least as much peak activation memory on
+        the first GPU (which holds the big early activations)."""
+        part = Partitioning.from_cuts(16, [4, 8, 12])
+        res = min_feasible_period(cnnlike16, roomy4, part)
+        eager = eager_1f1b(
+            cnnlike16, roomy4, Allocation.contiguous(part), n_batches=32
+        )
+        if eager.steady_period <= res.period * 1.001:
+            assert eager.peak_memory[0] >= res.memory[0] * 0.999
+
+    def test_requires_contiguous(self, uniform8, roomy4):
+        alloc = Allocation(Partitioning.from_cuts(8, [2, 4]), (0, 1, 0))
+        with pytest.raises(ValueError, match="contiguous"):
+            eager_1f1b(uniform8, roomy4, alloc)
+
+    def test_invalid_depth(self, uniform8, roomy4):
+        alloc = Allocation.contiguous(Partitioning.from_cuts(8, [4]))
+        with pytest.raises(ValueError):
+            eager_1f1b(uniform8, roomy4, alloc, depth=0)

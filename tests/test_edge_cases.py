@@ -1,0 +1,112 @@
+"""Edge cases across the whole stack: degenerate sizes, extreme platforms."""
+
+import pytest
+
+from repro.algorithms import (
+    Discretization,
+    gpipe,
+    madpipe,
+    min_feasible_period,
+    pipedream,
+)
+from repro.core import Partitioning, Platform
+from repro.models import uniform_chain
+from repro.sim import verify_pattern
+
+COARSE = Discretization.coarse()
+
+
+@pytest.fixture
+def single_layer():
+    return uniform_chain(1, u_f=1.0, u_b=2.0, weights=1e6, activation=1e6)
+
+
+class TestDegenerateSizes:
+    def test_single_gpu_pipedream(self, uniform8):
+        plat = Platform.of(1, 1.0, 12)
+        res = pipedream(uniform8, plat)
+        assert res.feasible
+        assert res.period == pytest.approx(uniform8.total_compute())
+
+    def test_single_gpu_madpipe(self, uniform8):
+        plat = Platform.of(1, 1.0, 12)
+        res = madpipe(uniform8, plat, grid=COARSE, iterations=4)
+        assert res.feasible
+        assert res.period == pytest.approx(uniform8.total_compute())
+        verify_pattern(uniform8, plat, res.pattern)
+
+    def test_single_layer_chain(self, single_layer):
+        plat = Platform.of(2, 1.0, 12)
+        pd = pipedream(single_layer, plat)
+        mp = madpipe(single_layer, plat, grid=COARSE, iterations=4)
+        assert pd.period == pytest.approx(3.0)
+        assert mp.period == pytest.approx(3.0)
+        verify_pattern(single_layer, plat, mp.pattern)
+
+    def test_single_stage_partitioning(self, uniform8):
+        plat = Platform.of(4, 1.0, 12)
+        res = min_feasible_period(uniform8, plat, Partitioning.from_cuts(8, []))
+        assert res is not None
+        assert res.period == pytest.approx(uniform8.total_compute())
+        verify_pattern(uniform8, plat, res.pattern)
+
+    def test_more_gpus_than_layers(self, single_layer):
+        plat = Platform.of(8, 1.0, 12)
+        res = madpipe(single_layer, plat, grid=COARSE, iterations=4)
+        assert res.feasible  # uses one GPU, leaves seven idle
+        assert res.allocation.n_stages == 1
+
+    def test_gpipe_single_microbatch(self, uniform8, roomy4):
+        res = gpipe(uniform8, roomy4, micro_batches=1)
+        assert res.feasible
+
+
+class TestExtremePlatforms:
+    def test_very_slow_links_stay_feasible(self, cnnlike16):
+        plat = Platform.of(4, 1024.0, 1e-3)
+        pd = pipedream(cnnlike16, plat)
+        assert pd.feasible
+        # all layers collapse onto few stages to dodge communication
+        assert pd.partitioning.n_stages <= 2
+
+    def test_very_fast_links_balance_freely(self, cnnlike16):
+        plat = Platform.of(4, 1024.0, 1e6)
+        pd = pipedream(cnnlike16, plat)
+        assert pd.feasible
+        assert pd.partitioning.n_stages == 4
+
+    def test_memory_exactly_at_requirement(self, uniform8):
+        """Platform memory equal to the 1F1B* requirement is feasible."""
+        plat = Platform.of(2, 1024.0, 12)
+        part = Partitioning.from_cuts(8, [4])
+        res = min_feasible_period(uniform8, plat, part)
+        needed = max(res.memory.values()) / 2**30
+        exact = Platform.of(2, needed, 12)
+        res2 = min_feasible_period(uniform8, exact, part)
+        assert res2 is not None
+        assert res2.period == pytest.approx(res.period)
+
+    def test_memory_just_below_requirement(self, uniform8):
+        plat = Platform.of(2, 1024.0, 12)
+        part = Partitioning.from_cuts(8, [4])
+        res = min_feasible_period(uniform8, plat, part)
+        needed = max(res.memory.values())
+        barely = Platform.of(2, needed * 0.999 / 2**30, 12)
+        res2 = min_feasible_period(uniform8, barely, part)
+        # either infeasible or strictly larger period
+        if res2 is not None:
+            assert res2.period > res.period
+
+    def test_zero_weight_chain(self):
+        chain = uniform_chain(6, u_f=1.0, u_b=2.0, weights=0.0, activation=1e6)
+        plat = Platform.of(3, 1.0, 12)
+        res = madpipe(chain, plat, grid=COARSE, iterations=4)
+        assert res.feasible
+        verify_pattern(chain, plat, res.pattern)
+
+    def test_zero_activation_chain(self):
+        chain = uniform_chain(6, u_f=1.0, u_b=2.0, weights=1e6, activation=0.0)
+        plat = Platform.of(3, 1.0, 12)
+        res = madpipe(chain, plat, grid=COARSE, iterations=4)
+        assert res.feasible
+        verify_pattern(chain, plat, res.pattern)

@@ -1,0 +1,30 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.algorithms import min_feasible_period
+from repro.core import Partitioning
+from repro.viz import render_gantt
+
+
+class TestGantt:
+    def test_contains_resources_and_ops(self, cnnlike16, roomy4):
+        part = Partitioning.from_cuts(16, [4, 8, 12])
+        res = min_feasible_period(cnnlike16, roomy4, part)
+        text = render_gantt(res.pattern)
+        for p in range(4):
+            assert f"GPU {p}" in text
+        assert "link" in text
+        assert "F0[" in text and "B0[" in text
+
+    def test_width_respected(self, uniform8, roomy4):
+        part = Partitioning.from_cuts(8, [4])
+        res = min_feasible_period(uniform8, roomy4, part)
+        text = render_gantt(res.pattern, width=60)
+        for line in text.splitlines():
+            if "|" in line:
+                inner = line.split("|")[1]
+                assert len(inner) == 60
+
+    def test_period_in_header(self, uniform8, roomy4):
+        part = Partitioning.from_cuts(8, [4])
+        res = min_feasible_period(uniform8, roomy4, part)
+        assert f"{res.pattern.period:.6g}" in render_gantt(res.pattern)

@@ -1,0 +1,51 @@
+"""Tests for the GPipe fill-drain baseline."""
+
+import pytest
+
+from repro.algorithms import gpipe
+from repro.algorithms.gpipe import gpipe_period
+from repro.core import Partitioning, Platform
+from repro.models import uniform_chain
+
+MB = float(2**20)
+
+
+class TestGPipePeriod:
+    def test_bubble_formula(self, uniform8, roomy4):
+        part = Partitioning.from_cuts(8, [2, 4, 6])
+        # uniform: bottleneck stage load 6/m, bubble factor (m + n - 1)
+        for m in (1, 2, 4, 8):
+            expected = (6.0 / m) * (m + 3)
+            got = gpipe_period(uniform8, roomy4, part, m)
+            assert got == pytest.approx(expected, rel=0.05)
+
+    def test_more_microbatches_less_bubble(self, uniform8, roomy4):
+        part = Partitioning.from_cuts(8, [2, 4, 6])
+        p2 = gpipe_period(uniform8, roomy4, part, 2)
+        p8 = gpipe_period(uniform8, roomy4, part, 8)
+        assert p8 < p2
+
+    def test_single_stage_no_bubble(self, uniform8, roomy4):
+        part = Partitioning.from_cuts(8, [])
+        assert gpipe_period(uniform8, roomy4, part, 4) == pytest.approx(24.0)
+
+
+class TestGPipe:
+    def test_feasible_roomy(self, uniform8, roomy4):
+        res = gpipe(uniform8, roomy4, micro_batches=4)
+        assert res.feasible
+        assert res.period > 0
+
+    def test_infeasible_tiny_memory(self, uniform8):
+        tiny = Platform.of(2, 1 * MB / 2**30, 12)
+        res = gpipe(uniform8, tiny)
+        assert not res.feasible
+
+    def test_worse_than_pipedream_steady_state(self, cnnlike16, roomy4):
+        """GPipe's bubble makes its per-batch period worse than the
+        bubble-free 1F1B* pipeline at the same partitioning."""
+        from repro.algorithms import pipedream
+
+        pd = pipedream(cnnlike16, roomy4)
+        gp = gpipe(cnnlike16, roomy4, micro_batches=4)
+        assert gp.period > pd.period

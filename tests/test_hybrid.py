@@ -1,0 +1,87 @@
+"""Tests for hybrid data + model parallelism (paper §1/§6 perspective)."""
+
+import pytest
+
+from repro.algorithms import Discretization, group_sizes, hybrid, scale_chain_for_group
+from repro.core import Platform
+from repro.models import random_chain, uniform_chain
+
+MB = float(2**20)
+COARSE = Discretization.coarse()
+
+
+class TestScaling:
+    def test_group_sizes(self):
+        assert group_sizes(8) == [1, 2, 4, 8]
+        assert group_sizes(6) == [1, 2, 3, 6]
+        assert group_sizes(1) == [1]
+
+    def test_identity_at_r1(self, cnnlike16):
+        assert scale_chain_for_group(cnnlike16, 1, 1e9) is cnnlike16
+
+    def test_compute_and_activations_shard(self, uniform8):
+        beta = 12 * 2**30
+        scaled = scale_chain_for_group(uniform8, 4, beta)
+        assert scaled.u_f(1) == pytest.approx(uniform8.u_f(1) / 4)
+        assert scaled.activation(3) == pytest.approx(uniform8.activation(3) / 4)
+        assert scaled.activation(0) == pytest.approx(uniform8.activation(0) / 4)
+
+    def test_weights_replicated_with_allreduce(self, uniform8):
+        beta = 12 * 2**30
+        scaled = scale_chain_for_group(uniform8, 4, beta)
+        assert scaled.weight(2) == uniform8.weight(2)
+        allreduce = 2.0 * uniform8.weight(2) * 3 / (4 * beta)
+        assert scaled.u_b(2) == pytest.approx(uniform8.u_b(2) / 4 + allreduce)
+
+    def test_invalid_group(self, uniform8):
+        with pytest.raises(ValueError):
+            scale_chain_for_group(uniform8, 0, 1e9)
+
+
+class TestHybrid:
+    def test_sweeps_all_divisors(self, cnnlike16):
+        plat = Platform.of(4, 8.0, 12)
+        res = hybrid(cnnlike16, plat, grid=COARSE, iterations=5, ilp_time_limit=10)
+        assert [r for r, _ in res.sweep] == [1, 2, 4]
+        assert res.feasible
+        assert res.group_size * res.n_groups == 4
+
+    def test_best_is_min_of_sweep(self, cnnlike16):
+        plat = Platform.of(4, 8.0, 12)
+        res = hybrid(cnnlike16, plat, grid=COARSE, iterations=5, ilp_time_limit=10)
+        finite = [p for _, p in res.sweep if p != float("inf")]
+        assert res.period == pytest.approx(min(finite))
+
+    def test_weight_heavy_chain_prefers_small_groups(self):
+        """Huge weights make all-reduce expensive: pure model parallelism
+        (r = 1) should win."""
+        chain = uniform_chain(
+            8, u_f=0.01, u_b=0.02, weights=1024 * MB, activation=1 * MB
+        )
+        plat = Platform.of(4, 16.0, 1.0)  # slow links hurt all-reduce
+        res = hybrid(chain, plat, grid=COARSE, iterations=5, ilp_time_limit=10)
+        assert res.group_size == 1
+
+    def test_weight_light_chain_tolerates_data_parallelism(self):
+        """With tiny weights the all-reduce is free, so larger groups are
+        at least represented among the near-optimal configurations."""
+        chain = uniform_chain(
+            8, u_f=0.05, u_b=0.10, weights=0.1 * MB, activation=2 * MB
+        )
+        plat = Platform.of(4, 16.0, 12)
+        res = hybrid(chain, plat, grid=COARSE, iterations=5, ilp_time_limit=10)
+        periods = dict(res.sweep)
+        # flat data parallelism must be close to ideal here
+        assert periods[4] <= chain.total_compute() / 4 * 1.2
+
+    def test_memory_relief_from_sharding(self):
+        """Activation-sharded groups can be feasible where pure model
+        parallelism is not."""
+        chain = uniform_chain(
+            4, u_f=0.05, u_b=0.10, weights=1 * MB, activation=600 * MB
+        )
+        plat = Platform.of(4, 1.0, 12)
+        res = hybrid(chain, plat, grid=COARSE, iterations=5, ilp_time_limit=10)
+        periods = dict(res.sweep)
+        assert periods[1] == float("inf") or periods[4] < float("inf")
+        assert res.feasible

@@ -1,0 +1,178 @@
+"""Tests for the phase-2 scheduling MILP (§4.3)."""
+
+import pytest
+
+from repro.core import Allocation, Partitioning, Platform
+from repro.ilp import build_milp, schedule_allocation, solve_fixed_period
+from repro.models import uniform_chain
+from repro.sim import verify_pattern
+
+MB = float(2**20)
+GB = float(2**30)
+
+
+@pytest.fixture
+def chain():
+    return uniform_chain(8, u_f=1.0, u_b=2.0, weights=1 * MB, activation=64 * MB)
+
+
+@pytest.fixture
+def contiguous2(chain):
+    return Allocation.contiguous(Partitioning.from_cuts(8, [4]))
+
+
+@pytest.fixture
+def special3(chain):
+    # stages 1-2 / 3-6 / 7-8; GPU 0 is special (first and last stage)
+    return Allocation(Partitioning.from_cuts(8, [2, 6]), (0, 1, 0))
+
+
+class TestBuildMilp:
+    def test_variable_layout(self, chain, contiguous2):
+        plat = Platform.of(2, 4, 12)
+        m = build_milp(chain, plat, contiguous2, 20.0)
+        # 4 compute ops + 2 comm ops
+        assert len(m.ops) == 6
+        # t + h per op, plus one y per same-resource pair (1 per gpu, 1 link)
+        assert m.n_vars == 12 + 3
+        assert sum(m.integrality) == 6 + 3  # shifts + disjunctions
+
+    def test_special_has_more_disjunctions(self, chain, special3):
+        plat = Platform.of(2, 4, 12)
+        m = build_milp(chain, plat, special3, 20.0)
+        # GPU 0 hosts 4 ops -> 6 pairs; GPU 1 hosts 2 -> 1 pair;
+        # links (0,1) twice x 2 ops... both cuts use link(0,1): 4 ops -> 6
+        assert len(m.y_index) == 6 + 1 + 6
+
+    def test_static_overflow_raises(self, contiguous2):
+        # zero activations: the memory rows are constant, so an oversized
+        # static footprint (weights/buffers) must fail at build time
+        heavy = uniform_chain(8, u_f=1.0, u_b=2.0, weights=512 * MB, activation=0.0)
+        tiny = Platform.of(2, 1.0, 12)
+        with pytest.raises(ValueError, match="static"):
+            build_milp(heavy, tiny, contiguous2, 20.0)
+
+    def test_invalid_period(self, chain, contiguous2):
+        with pytest.raises(ValueError):
+            build_milp(chain, Platform.of(2, 4, 12), contiguous2, 0.0)
+
+
+class TestSolveFixedPeriod:
+    def test_sequential_period_feasible(self, chain, contiguous2):
+        plat = Platform.of(2, 4, 12)
+        T = 24.0 + 4 * chain.activation(4) / plat.bandwidth
+        pat = solve_fixed_period(chain, plat, contiguous2, T, time_limit=20)
+        assert pat is not None
+        verify_pattern(chain, plat, pat)
+
+    def test_below_load_bound_infeasible(self, chain, contiguous2):
+        plat = Platform.of(2, 4, 12)
+        assert solve_fixed_period(chain, plat, contiguous2, 6.0, time_limit=20) is None
+
+    def test_tight_memory_infeasible_at_small_period(self, chain, contiguous2):
+        # each stage stores 4*64 MB per copy + 12 MB buffers/weights;
+        # allow ~1.5 copies so the pipelined (2-copy) period is rejected
+        plat = Platform.of(2, 0.40, 12)
+        assert solve_fixed_period(chain, plat, contiguous2, 12.5, time_limit=20) is None
+
+    def test_memory_constraint_respected(self, chain, special3):
+        plat = Platform.of(2, 2.0, 12)
+        T = 26.0
+        pat = solve_fixed_period(chain, plat, special3, T, time_limit=20)
+        assert pat is not None
+        peaks = pat.memory_peaks(chain)
+        assert all(m <= plat.memory * (1 + 1e-6) for m in peaks.values())
+
+
+class TestScheduleAllocation:
+    def test_contiguous_matches_load_bound_when_roomy(self, chain, contiguous2):
+        plat = Platform.of(2, 1024, 12)
+        res = schedule_allocation(chain, plat, contiguous2, time_limit=20)
+        assert res.feasible
+        lb = contiguous2.period_lower_bound(chain, plat)
+        assert res.period <= lb * 1.01
+        verify_pattern(chain, plat, res.pattern)
+
+    def test_non_contiguous_schedulable(self, chain, special3):
+        plat = Platform.of(2, 4, 12)
+        res = schedule_allocation(chain, plat, special3, time_limit=20)
+        assert res.feasible
+        verify_pattern(chain, plat, res.pattern)
+        # GPU 0 runs stages 0 and 2: its load is the binding bound
+        lb = special3.period_lower_bound(chain, plat)
+        assert res.period >= lb - 1e-9
+
+    def test_memory_pressure_raises_period(self, chain, special3):
+        roomy = schedule_allocation(
+            chain, Platform.of(2, 1024, 12), special3, time_limit=20
+        )
+        tight = schedule_allocation(
+            chain, Platform.of(2, 1.3, 12), special3, time_limit=20
+        )
+        assert roomy.feasible and tight.feasible
+        assert tight.period >= roomy.period - 1e-9
+
+    def test_impossible_memory(self, chain, special3):
+        res = schedule_allocation(
+            chain, Platform.of(2, 0.05, 12), special3, time_limit=20
+        )
+        assert not res.feasible
+        assert res.period == float("inf")
+
+    def test_probe_trace_recorded(self, chain, contiguous2):
+        plat = Platform.of(2, 4, 12)
+        res = schedule_allocation(chain, plat, contiguous2, time_limit=20)
+        assert res.probes
+        assert res.probes[0][0] == pytest.approx(
+            contiguous2.period_lower_bound(chain, plat)
+        )
+
+
+class TestSpecialProcessorInterleaving:
+    def test_ilp_finds_memory_saving_interleave(self):
+        """Fig. 5 scenario: two stages on the special processor.  When
+        memory only allows the interleaved schedule (backward of one stage
+        between the forwards), the ILP must find it rather than declare
+        the period infeasible."""
+        chain = uniform_chain(6, u_f=1.0, u_b=2.0, weights=0.0, activation=256 * MB)
+        # stages: 1-2 (special), 3-4 (normal), 5-6 (special)
+        alloc = Allocation(Partitioning.from_cuts(6, [2, 4]), (0, 1, 0))
+        plat_roomy = Platform.of(2, 1024, 12)
+        res = schedule_allocation(chain, plat_roomy, alloc, time_limit=30)
+        assert res.feasible
+        base_period = res.period
+
+        # now constrain memory to just above the best-case peak
+        peaks = res.pattern.memory_peaks(chain)
+        tight = Platform.of(2, (max(peaks.values()) * 1.02) / GB, 12)
+        res2 = schedule_allocation(chain, tight, alloc, time_limit=30)
+        assert res2.feasible
+        verify_pattern(chain, tight, res2.pattern)
+        assert res2.period <= base_period * 1.6
+
+
+class TestILPConsistencyWith1F1B:
+    """On contiguous allocations 1F1B* is provably memory-optimal, so the
+    ILP (restricted to non-wrapping ops) can never beat its minimal
+    feasible period, and should get close when memory is loose."""
+
+    @pytest.mark.parametrize("mem_gb", [1024.0, 2.0])
+    def test_ilp_never_beats_onef1b(self, mem_gb):
+        from repro.algorithms import min_feasible_period
+        from repro.core import Partitioning
+        from repro.models import random_chain
+
+        chain = random_chain(12, seed=5, decay=0.15)
+        part = Partitioning.from_cuts(12, [4, 8])
+        plat = Platform.of(3, mem_gb, 12)
+        star = min_feasible_period(chain, plat, part)
+        if star is None:
+            pytest.skip("1F1B* infeasible at this memory")
+        ilp = schedule_allocation(
+            chain, plat, Allocation.contiguous(part), time_limit=20
+        )
+        assert ilp.feasible
+        assert ilp.period >= star.period * (1 - 1e-6)
+        if mem_gb > 100:
+            # unconstrained: both must sit at the load lower bound
+            assert ilp.period <= star.period * 1.01

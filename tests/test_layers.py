@@ -1,0 +1,126 @@
+"""Unit tests for layer specs: shapes, parameters, FLOPs."""
+
+import pytest
+
+from repro.models.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Input,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    numel,
+)
+
+
+class TestConv2d:
+    def test_shape_same_padding(self):
+        conv = Conv2d(64, 3, stride=1, padding=1)
+        assert conv.out_shape((3, 224, 224)) == (64, 224, 224)
+
+    def test_shape_stride2(self):
+        conv = Conv2d(64, 7, stride=2, padding=3)
+        assert conv.out_shape((3, 224, 224)) == (64, 112, 112)
+
+    def test_params(self):
+        assert Conv2d(64, 3).param_count((32, 8, 8)) == 3 * 3 * 32 * 64
+        assert Conv2d(64, 3, bias=True).param_count((32, 8, 8)) == 3 * 3 * 32 * 64 + 64
+
+    def test_flops(self):
+        conv = Conv2d(16, 3, padding=1)
+        # 2 * k^2 * cin * cout * Hout * Wout
+        assert conv.fwd_flops((8, 10, 10)) == 2 * 9 * 8 * 16 * 100
+        assert conv.bwd_flops((8, 10, 10)) == 2 * conv.fwd_flops((8, 10, 10))
+
+    def test_too_small_input(self):
+        with pytest.raises(ValueError):
+            Conv2d(8, 7).out_shape((3, 4, 4))
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        assert MaxPool2d(3, 2, 1).out_shape((64, 112, 112)) == (64, 56, 56)
+
+    def test_avgpool_shape(self):
+        assert AvgPool2d(2, 2).out_shape((64, 56, 56)) == (64, 28, 28)
+
+    def test_global_pool(self):
+        gap = GlobalAvgPool2d()
+        assert gap.out_shape((512, 7, 7)) == (512,)
+        assert gap.param_count((512, 7, 7)) == 0
+
+
+class TestElementwise:
+    def test_bn(self):
+        bn = BatchNorm2d()
+        assert bn.out_shape((64, 10, 10)) == (64, 10, 10)
+        assert bn.param_count((64, 10, 10)) == 128
+        assert bn.fwd_flops((64, 10, 10)) == 4 * 6400
+
+    def test_relu_dropout(self):
+        for spec in (ReLU(), Dropout()):
+            assert spec.out_shape((8, 4, 4)) == (8, 4, 4)
+            assert spec.param_count((8, 4, 4)) == 0
+            assert spec.bwd_flops((8, 4, 4)) == spec.fwd_flops((8, 4, 4))
+
+
+class TestLinearFlatten:
+    def test_flatten(self):
+        assert Flatten().out_shape((64, 7, 7)) == (64 * 49,)
+
+    def test_linear(self):
+        fc = Linear(1000)
+        assert fc.out_shape((2048,)) == (1000,)
+        assert fc.param_count((2048,)) == 2048 * 1000 + 1000
+        assert fc.fwd_flops((2048,)) == 2 * 2048 * 1000
+
+    def test_linear_requires_flat(self):
+        with pytest.raises(ValueError):
+            Linear(10).out_shape((3, 4, 4))
+
+    def test_linear_no_bias(self):
+        assert Linear(10, bias=False).param_count((5,)) == 50
+
+
+class TestMergeNodes:
+    def test_add(self):
+        add = Add()
+        assert add.out_shape((8, 4, 4), (8, 4, 4)) == (8, 4, 4)
+        assert add.fwd_flops((8, 4, 4), (8, 4, 4)) == 128
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Add().out_shape((8, 4, 4), (8, 4, 5))
+
+    def test_concat(self):
+        cat = Concat()
+        assert cat.out_shape((8, 4, 4), (16, 4, 4), (8, 4, 4)) == (32, 4, 4)
+        assert cat.fwd_flops((8, 4, 4), (16, 4, 4)) == 0.0
+
+    def test_concat_spatial_mismatch(self):
+        with pytest.raises(ValueError):
+            Concat().out_shape((8, 4, 4), (8, 5, 4))
+
+
+class TestInputAndTraffic:
+    def test_input(self):
+        inp = Input((3, 8, 8))
+        assert inp.out_shape() == (3, 8, 8)
+        with pytest.raises(ValueError):
+            inp.out_shape((1, 1, 1))
+
+    def test_numel(self):
+        assert numel((3, 4, 5)) == 60
+        assert numel((7,)) == 7
+
+    def test_mem_traffic_counts_in_and_out(self):
+        relu = ReLU()
+        assert relu.mem_traffic((8, 4, 4)) == 2 * 128
+        conv = Conv2d(4, 1)
+        assert conv.mem_traffic((8, 4, 4)) == 128 + 64

@@ -1,0 +1,133 @@
+"""Tests for MadPipe phase 1: the DP and the T̂ binary search (§4.2)."""
+
+import pytest
+
+from repro.algorithms.madpipe_dp import Discretization, algorithm1, madpipe_dp
+from repro.core import Platform
+from repro.models import random_chain, uniform_chain
+
+MB = float(2**20)
+COARSE = Discretization.coarse()
+
+
+class TestDiscretization:
+    def test_presets(self):
+        assert Discretization.paper() == Discretization(101, 11, 51)
+        assert Discretization.coarse().n_t < Discretization.default().n_t
+
+    def test_minimum_sizes(self):
+        with pytest.raises(ValueError):
+            Discretization(1, 5, 5)
+
+
+class TestMadPipeDP:
+    def test_returns_cover(self, cnnlike16, roomy4):
+        res = madpipe_dp(cnnlike16, roomy4, cnnlike16.total_compute() / 4, grid=COARSE)
+        assert res.feasible
+        stages = res.allocation.stages
+        assert stages[0].start == 1
+        assert stages[-1].end == 16
+        for a, b in zip(stages, stages[1:]):
+            assert b.start == a.end + 1
+
+    def test_period_at_least_load_bound(self, cnnlike16, roomy4):
+        res = madpipe_dp(cnnlike16, roomy4, cnnlike16.total_compute() / 4, grid=COARSE)
+        assert res.dp_period >= cnnlike16.total_compute() / 4 - 1e-9
+
+    def test_materialized_allocation_valid(self, cnnlike16, roomy4):
+        res = madpipe_dp(cnnlike16, roomy4, cnnlike16.total_compute() / 4, grid=COARSE)
+        alloc = res.allocation.to_allocation(roomy4)
+        alloc.validate(cnnlike16, roomy4)
+        assert len(alloc.special_procs()) <= 1
+
+    def test_contiguous_mode(self, cnnlike16, roomy4):
+        res = madpipe_dp(
+            cnnlike16,
+            roomy4,
+            cnnlike16.total_compute() / 4,
+            grid=COARSE,
+            allow_special=False,
+        )
+        assert res.feasible
+        assert not any(res.allocation.special)
+        alloc = res.allocation.to_allocation(roomy4)
+        assert alloc.is_contiguous()
+
+    def test_higher_target_relaxes_memory(self, cnnlike16):
+        """MadPipe-DP(T̂) is non-increasing in T̂ (§4.2.3)."""
+        plat = Platform.of(4, 1.0, 12)
+        u = cnnlike16.total_compute()
+        periods = []
+        for target in (u / 4, u / 2, u):
+            res = madpipe_dp(cnnlike16, plat, target, grid=COARSE)
+            periods.append(res.dp_period if res.feasible else float("inf"))
+        assert periods[0] >= periods[-1] - 1e-9
+
+    def test_infeasible_when_memory_tiny(self, uniform8):
+        tiny = Platform.of(2, 1 * MB / 2**30, 12)
+        res = madpipe_dp(uniform8, tiny, uniform8.total_compute(), grid=COARSE)
+        assert not res.feasible
+
+    def test_invalid_target(self, uniform8, plat2):
+        with pytest.raises(ValueError):
+            madpipe_dp(uniform8, plat2, 0.0)
+
+    def test_effective_period(self, cnnlike16, roomy4):
+        u = cnnlike16.total_compute()
+        res = madpipe_dp(cnnlike16, roomy4, u, grid=COARSE)
+        assert res.effective_period == max(res.dp_period, u)
+
+    def test_period_cap_prunes_but_preserves_good_solutions(self, cnnlike16, roomy4):
+        target = cnnlike16.total_compute() / 4
+        free = madpipe_dp(cnnlike16, roomy4, target, grid=COARSE)
+        capped = madpipe_dp(
+            cnnlike16, roomy4, target, grid=COARSE, period_cap=free.dp_period * 1.5
+        )
+        assert capped.feasible
+        assert capped.dp_period <= free.dp_period * 1.5 + 1e-9
+
+
+class TestAlgorithm1:
+    def test_beats_or_matches_naive_target(self, cnnlike16, roomy4):
+        res = algorithm1(cnnlike16, roomy4, iterations=6, grid=COARSE)
+        assert res.feasible
+        # never worse than the trivial single-GPU period
+        assert res.period <= cnnlike16.total_compute() + 1e-9
+        # never better than the perfect-balance bound
+        assert res.period >= cnnlike16.total_compute() / 4 - 1e-9
+
+    def test_history_recorded(self, cnnlike16, roomy4):
+        res = algorithm1(cnnlike16, roomy4, iterations=5, grid=COARSE)
+        assert len(res.history) == 5
+
+    def test_special_used_under_pressure(self):
+        """With heterogeneous layers and tight memory, the special
+        processor should eventually pick up more than one stage."""
+        used_special = False
+        for seed in (0, 1, 2, 3, 4):
+            chain = random_chain(16, seed=seed, decay=0.25)
+            for mem in (2.0, 1.0, 0.6):
+                res = algorithm1(
+                    chain, Platform.of(4, mem, 12), iterations=6, grid=COARSE
+                )
+                if res.feasible and sum(res.allocation.special) > 1:
+                    used_special = True
+                    break
+            if used_special:
+                break
+        assert used_special
+
+    def test_more_memory_never_catastrophically_worse(self, cnnlike16):
+        """The DP estimate is non-increasing in M on average; we assert the
+        weak form: the roomiest platform is at least as good as the
+        tightest feasible one."""
+        periods = {}
+        for mem in (0.8, 2.0, 8.0):
+            res = algorithm1(cnnlike16, Platform.of(4, mem, 12), iterations=6, grid=COARSE)
+            periods[mem] = res.period if res.feasible else float("inf")
+        assert periods[8.0] <= periods[0.8] + 1e-9
+
+    def test_feasibility_flag(self, uniform8):
+        tiny = Platform.of(2, 1 * MB / 2**30, 12)
+        res = algorithm1(uniform8, tiny, iterations=4, grid=COARSE)
+        assert not res.feasible

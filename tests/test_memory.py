@@ -1,0 +1,61 @@
+"""Unit tests for the memory model M(k, l, g) (paper §4.2.1)."""
+
+import pytest
+
+from repro.core import stage_memory, stage_memory_breakdown
+
+MB = float(2**20)
+
+
+class TestStageMemory:
+    def test_middle_stage_formula(self, tiny_chain):
+        # stage = layers 2..3, g = 2:
+        #   weights: 3*(20+30) MB, activations: 2*(a1+a2) = 2*(40+30) MB
+        #   buffers: 2*(a1 + a3) = 2*(40+20) MB
+        expected = (3 * 50 + 2 * 70 + 2 * 60) * MB
+        assert stage_memory(tiny_chain, 2, 3, 2) == pytest.approx(expected)
+
+    def test_first_stage_drops_input_buffer(self, tiny_chain):
+        # stage 1..1, g=1: 3*10 + 1*50 (a0) + out buffer 2*40
+        expected = (30 + 50 + 80) * MB
+        assert stage_memory(tiny_chain, 1, 1, 1) == pytest.approx(expected)
+
+    def test_last_stage_drops_output_buffer(self, tiny_chain):
+        # stage 4..4, g=3: 3*40 + 3*a3(20) + in buffer 2*20
+        expected = (120 + 60 + 40) * MB
+        assert stage_memory(tiny_chain, 4, 4, 3) == pytest.approx(expected)
+
+    def test_whole_chain_has_no_buffers(self, tiny_chain):
+        bd = stage_memory_breakdown(tiny_chain, 1, 4, 1)
+        assert bd.buffers == 0.0
+
+    def test_buffer_override(self, tiny_chain):
+        with_buf = stage_memory(tiny_chain, 1, 2, 1, in_buffer=True)
+        without = stage_memory(tiny_chain, 1, 2, 1)
+        assert with_buf - without == pytest.approx(2 * tiny_chain.activation(0))
+
+    def test_g_zero_keeps_static_parts(self, tiny_chain):
+        bd = stage_memory_breakdown(tiny_chain, 2, 3, 0)
+        assert bd.activations == 0.0
+        assert bd.weights > 0 and bd.buffers > 0
+
+    def test_monotone_in_g(self, tiny_chain):
+        values = [stage_memory(tiny_chain, 1, 3, g) for g in range(5)]
+        assert values == sorted(values)
+        # slope is exactly the stored-activation size
+        assert values[2] - values[1] == pytest.approx(
+            tiny_chain.stored_activations(1, 3)
+        )
+
+    def test_breakdown_total(self, tiny_chain):
+        bd = stage_memory_breakdown(tiny_chain, 2, 4, 3)
+        assert bd.total == pytest.approx(bd.weights + bd.activations + bd.buffers)
+        assert bd.total == pytest.approx(stage_memory(tiny_chain, 2, 4, 3))
+
+    def test_empty_stage_rejected(self, tiny_chain):
+        with pytest.raises(ValueError):
+            stage_memory(tiny_chain, 3, 2, 1)
+
+    def test_negative_g_rejected(self, tiny_chain):
+        with pytest.raises(ValueError):
+            stage_memory(tiny_chain, 1, 2, -1)

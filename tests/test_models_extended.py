@@ -1,0 +1,117 @@
+"""Tests for the extended model zoo: MobileNet, Transformer, U-Net,
+grouped convolutions."""
+
+import pytest
+
+from repro.models import linearize, mobilenet_v1, transformer_encoder, unet
+from repro.models.layers import Conv2d, FeedForward, SelfAttention, TokenEmbedding, Upsample
+from repro.profiling import V100, profile_model
+
+
+class TestGroupedConv:
+    def test_depthwise_params(self):
+        # depthwise 3x3 over 32 channels: 9 * 1 * 32
+        dw = Conv2d(32, 3, padding=1, groups=32)
+        assert dw.param_count((32, 8, 8)) == 9 * 32
+
+    def test_depthwise_flops_scale(self):
+        full = Conv2d(32, 3, padding=1)
+        dw = Conv2d(32, 3, padding=1, groups=32)
+        assert full.fwd_flops((32, 8, 8)) == 32 * dw.fwd_flops((32, 8, 8))
+
+    def test_group_divisibility(self):
+        with pytest.raises(ValueError):
+            Conv2d(32, 3, groups=5).out_shape((32, 8, 8))
+        with pytest.raises(ValueError):
+            Conv2d(30, 3, groups=4).out_shape((32, 8, 8))
+        with pytest.raises(ValueError):
+            Conv2d(32, 3, groups=0).out_shape((32, 8, 8))
+
+
+class TestMobileNet:
+    def test_params(self):
+        g = mobilenet_v1(image_size=224)
+        g.propagate_shapes()
+        # torchvision/keras MobileNetV1: ~4.23M parameters
+        assert g.total_params() == pytest.approx(4.23e6, rel=0.02)
+
+    def test_width_multiplier(self):
+        g_full = mobilenet_v1(image_size=224)
+        g_half = mobilenet_v1(image_size=224, width=0.5)
+        g_full.propagate_shapes()
+        g_half.propagate_shapes()
+        assert g_half.total_params() < g_full.total_params() / 2.5
+
+    def test_linearizes_to_pure_chain(self):
+        g = mobilenet_v1(image_size=224)
+        profile_model(g, V100, 2)
+        chain = linearize(g)
+        assert chain.L == len(g) - 1  # sequential network
+
+
+class TestTransformer:
+    def test_bert_base_params(self):
+        g = transformer_encoder()  # 12 x 768, vocab 32k
+        g.propagate_shapes()
+        # BERT-base without pooler: ~110M (vocab-dependent)
+        assert g.total_params() == pytest.approx(110e6, rel=0.05)
+
+    def test_blocks_group_into_chain_layers(self):
+        g = transformer_encoder(n_layers=6, d_model=256, heads=8, seq_len=128)
+        profile_model(g, V100, 4)
+        chain = linearize(g)
+        # embed + 2 nodes per block (attn-res and ffn-res) + final ln
+        assert chain.L == 2 + 2 * 6
+        # homogeneous middle: all attention-residual groups cost the same
+        mids = [l for l in chain.layers if "res1" in l.name]
+        assert len(mids) == 6
+        assert len({round(m.u_f, 9) for m in mids}) == 1
+
+    def test_heads_divisibility(self):
+        g = transformer_encoder(n_layers=1, d_model=100, heads=8)
+        with pytest.raises(ValueError):
+            g.propagate_shapes()
+
+    def test_attention_flops_quadratic_in_seq(self):
+        att = SelfAttention(8)
+        f1 = att.fwd_flops((128, 256))
+        f2 = att.fwd_flops((256, 256))
+        assert f2 > 2 * f1  # superlinear due to the s^2 term
+
+    def test_embedding_params(self):
+        emb = TokenEmbedding(1000, 64)
+        assert emb.param_count((128,)) == 1000 * 64 + 128 * 64
+
+    def test_ffn_params(self):
+        ffn = FeedForward(1024)
+        assert ffn.param_count((16, 256)) == 2 * 256 * 1024 + 1024 + 256
+
+
+class TestUNet:
+    def test_upsample_shape(self):
+        assert Upsample(2).out_shape((64, 16, 16)) == (64, 32, 32)
+
+    def test_builds_and_profiles(self):
+        g = unet(image_size=128, depth=3)
+        profile_model(g, V100, 1)
+        chain = linearize(g)
+        assert chain.L >= 3  # stem cuts + fused skip region + head
+        assert chain.total_compute() > 0
+
+    def test_output_channels(self):
+        g = unet(image_size=64, depth=2, num_classes=5)
+        g.propagate_shapes()
+        assert g.shape(g.sink) == (5, 64, 64)
+
+    def test_skips_fuse_into_one_region(self):
+        """Long skips leave no serialization point inside the U: the
+        bulk of the network must land in a single chain layer."""
+        g = unet(image_size=64, depth=2)
+        profile_model(g, V100, 1)
+        chain = linearize(g)
+        biggest = max(chain.layers, key=lambda l: l.u_f)
+        assert biggest.u_f > 0.5 * chain.U_f(1, chain.L)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            unet(image_size=100, depth=4)

@@ -1,0 +1,122 @@
+"""Unit tests for stages, partitionings and allocations."""
+
+import pytest
+
+from repro.core import Allocation, Partitioning, Stage
+
+
+class TestStage:
+    def test_len(self):
+        assert len(Stage(2, 5)) == 4
+
+    @pytest.mark.parametrize("start,end", [(0, 1), (3, 2), (-1, 4)])
+    def test_invalid(self, start, end):
+        with pytest.raises(ValueError):
+            Stage(start, end)
+
+    def test_costs(self, tiny_chain):
+        s = Stage(2, 3)
+        assert s.compute(tiny_chain) == pytest.approx(tiny_chain.U(2, 3))
+        assert s.forward(tiny_chain) == pytest.approx(tiny_chain.U_f(2, 3))
+        assert s.backward(tiny_chain) == pytest.approx(tiny_chain.U_b(2, 3))
+        assert s.stored_activations(tiny_chain) == pytest.approx(
+            tiny_chain.stored_activations(2, 3)
+        )
+
+
+class TestPartitioning:
+    def test_from_cuts(self):
+        p = Partitioning.from_cuts(10, [3, 7])
+        assert p.n_stages == 3
+        assert p.stages == (Stage(1, 3), Stage(4, 7), Stage(8, 10))
+        assert p.cut_layers() == [3, 7]
+
+    def test_no_cuts(self):
+        p = Partitioning.from_cuts(5, [])
+        assert p.n_stages == 1 and p.L == 5
+
+    @pytest.mark.parametrize("cuts", [[7, 3], [3, 3], [0], [10]])
+    def test_bad_cuts(self, cuts):
+        with pytest.raises(ValueError):
+            Partitioning.from_cuts(10, cuts)
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            Partitioning((Stage(1, 3), Stage(5, 7)))
+
+    def test_must_start_at_one(self):
+        with pytest.raises(ValueError):
+            Partitioning((Stage(2, 4),))
+
+    def test_cover_validation(self, tiny_chain):
+        Partitioning.from_cuts(4, [2]).validate_cover(tiny_chain)
+        with pytest.raises(ValueError):
+            Partitioning.from_cuts(5, [2]).validate_cover(tiny_chain)
+
+    def test_iteration_and_indexing(self):
+        p = Partitioning.from_cuts(6, [2, 4])
+        assert list(p) == [Stage(1, 2), Stage(3, 4), Stage(5, 6)]
+        assert p[1] == Stage(3, 4)
+        assert len(p) == 3
+
+
+class TestAllocation:
+    def test_contiguous(self):
+        p = Partitioning.from_cuts(6, [2, 4])
+        a = Allocation.contiguous(p)
+        assert a.procs == (0, 1, 2)
+        assert a.is_contiguous()
+        assert a.special_procs() == []
+
+    def test_special_detection(self):
+        p = Partitioning.from_cuts(6, [2, 4])
+        a = Allocation(p, (2, 0, 2))
+        assert not a.is_contiguous()
+        assert a.special_procs() == [2]
+        assert a.stages_on_proc(2) == [0, 2]
+
+    def test_stage_proc_count_mismatch(self):
+        p = Partitioning.from_cuts(6, [2, 4])
+        with pytest.raises(ValueError):
+            Allocation(p, (0, 1))
+
+    def test_proc_loads(self, tiny_chain):
+        p = Partitioning.from_cuts(4, [1, 3])
+        a = Allocation(p, (1, 0, 1))
+        loads = a.proc_loads(tiny_chain)
+        assert loads[0] == pytest.approx(tiny_chain.U(2, 3))
+        assert loads[1] == pytest.approx(tiny_chain.U(1, 1) + tiny_chain.U(4, 4))
+
+    def test_link_loads(self, tiny_chain, plat4):
+        p = Partitioning.from_cuts(4, [1, 3])
+        a = Allocation(p, (1, 0, 1))
+        links = a.link_loads(tiny_chain, plat4.bandwidth)
+        # both cuts connect procs 0 and 1 -> single link accumulates
+        assert set(links) == {(0, 1)}
+        expected = tiny_chain.comm_time(1, plat4.bandwidth) + tiny_chain.comm_time(
+            3, plat4.bandwidth
+        )
+        assert links[(0, 1)] == pytest.approx(expected)
+
+    def test_same_proc_adjacent_no_comm(self, tiny_chain, plat4):
+        p = Partitioning.from_cuts(4, [2])
+        a = Allocation(p, (0, 0))
+        assert a.link_loads(tiny_chain, plat4.bandwidth) == {}
+
+    def test_period_lower_bound(self, tiny_chain, plat2):
+        p = Partitioning.from_cuts(4, [2])
+        a = Allocation.contiguous(p)
+        lb = a.period_lower_bound(tiny_chain, plat2)
+        assert lb == pytest.approx(
+            max(
+                tiny_chain.U(1, 2),
+                tiny_chain.U(3, 4),
+                tiny_chain.comm_time(2, plat2.bandwidth),
+            )
+        )
+
+    def test_validate_platform_size(self, tiny_chain, plat2):
+        p = Partitioning.from_cuts(4, [1, 2])
+        a = Allocation(p, (0, 1, 2))
+        with pytest.raises(ValueError):
+            a.validate(tiny_chain, plat2)

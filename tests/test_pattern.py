@@ -1,0 +1,190 @@
+"""Unit tests for periodic pattern semantics (paper §3, Fig. 2)."""
+
+import pytest
+
+from repro.core import (
+    Allocation,
+    Op,
+    Partitioning,
+    PatternError,
+    PeriodicPattern,
+    Platform,
+    gpu,
+    link,
+)
+from repro.models import uniform_chain
+
+MB = float(2**20)
+
+
+@pytest.fixture
+def chain():
+    # two stages of 4 layers each: U_f = 4, U_b = 8 per stage
+    return uniform_chain(8, u_f=1.0, u_b=2.0, weights=1 * MB, activation=8 * MB)
+
+
+@pytest.fixture
+def alloc():
+    return Allocation.contiguous(Partitioning.from_cuts(8, [4]))
+
+
+@pytest.fixture
+def platform():
+    return Platform.of(2, 1.0, 12)
+
+
+def comm_half(chain, platform):
+    return chain.activation(4) / platform.bandwidth
+
+
+def sequential_pattern(chain, alloc, platform):
+    """One batch at a time: F0, CF0, F1, B1, CB0, B0, all shift 0."""
+    c = comm_half(chain, platform)
+    T = 24.0 + 2 * c
+    pat = PeriodicPattern(allocation=alloc, period=T)
+    pat.add(Op("F", 0, gpu(0), 0.0, 4.0, 0))
+    pat.add(Op("CF", 0, link(0, 1), 4.0, c, 0))
+    pat.add(Op("F", 1, gpu(1), 4.0 + c, 4.0, 0))
+    pat.add(Op("B", 1, gpu(1), 8.0 + c, 8.0, 0))
+    pat.add(Op("CB", 0, link(0, 1), 16.0 + c, c, 0))
+    pat.add(Op("B", 0, gpu(0), 16.0 + 2 * c, 8.0, 0))
+    return pat
+
+
+def pipelined_pattern(chain, alloc, platform):
+    """Period 12 + 2c (per-stage load), stage-0 backward shifted by one
+    batch: batch ``b``'s ``B0`` runs one period after its ``F0``."""
+    c = comm_half(chain, platform)
+    T = 12.0 + 2 * c
+    pat = PeriodicPattern(allocation=alloc, period=T)
+    pat.add(Op("F", 0, gpu(0), 0.0, 4.0, 0))
+    pat.add(Op("CF", 0, link(0, 1), 4.0, c, 0))
+    pat.add(Op("F", 1, gpu(1), 4.0 + c, 4.0, 0))
+    pat.add(Op("B", 1, gpu(1), 8.0 + c, 8.0, 0))
+    pat.add(Op("CB", 0, link(0, 1), 4.0 - c, c, 1))
+    pat.add(Op("B", 0, gpu(0), 4.0, 8.0, 1))
+    return pat
+
+
+class TestValidation:
+    def test_sequential_valid(self, chain, alloc, platform):
+        sequential_pattern(chain, alloc, platform).validate(chain, platform)
+
+    def test_pipelined_valid(self, chain, alloc, platform):
+        pipelined_pattern(chain, alloc, platform).validate(chain, platform)
+
+    def test_dependency_violation(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        pat.ops[("B", 0)].start = 10.0  # before CB0 completes
+        with pytest.raises(PatternError, match="dependency"):
+            pat.validate(chain, platform)
+
+    def test_resource_overlap(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        pat.ops[("B", 0)].start = 2.0  # collides with F0 on gpu 0
+        with pytest.raises(PatternError):
+            pat.validate(chain, platform)
+
+    def test_circular_overlap_detected(self, chain, alloc, platform):
+        # an op wrapping past T collides with an op at the period start
+        pat = sequential_pattern(chain, alloc, platform)
+        T = pat.period
+        pat.ops[("B", 0)].start = T - 1.0  # duration 8 wraps onto F0
+        with pytest.raises(PatternError, match="overlap"):
+            pat.validate(chain, platform)
+
+    def test_missing_op(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        del pat.ops[("B", 1)]
+        with pytest.raises(PatternError, match="missing"):
+            pat.validate(chain, platform)
+
+    def test_missing_comm(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        del pat.ops[("CF", 0)]
+        with pytest.raises(PatternError, match="communication"):
+            pat.validate(chain, platform)
+
+    def test_wrong_resource(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        pat.ops[("F", 1)].resource = gpu(0)
+        with pytest.raises(PatternError, match="resource"):
+            pat.validate(chain, platform)
+
+    def test_duplicate_add_rejected(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        with pytest.raises(PatternError, match="duplicate"):
+            pat.add(Op("F", 0, gpu(0), 0.0, 1.0, 0))
+
+
+class TestNormalize:
+    def test_wraps_late_starts(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        T = pat.period
+        op = pat.ops[("B", 0)]
+        op.start += T  # push one period late
+        pat.normalize()
+        assert 0 <= op.start < T
+        assert op.shift == 1
+        pat.validate(chain, platform)
+
+    def test_anchors_first_forward(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        for op in pat.ops.values():
+            op.shift += 3
+        pat.normalize()
+        assert pat.ops[("F", 0)].shift == 0
+        pat.validate(chain, platform)
+
+
+class TestMemoryAccounting:
+    def test_sequential_one_active_batch(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        # stage 0 holds its activation from F0 start to B0 end
+        assert pat.active_batches(0, 1.0) == 1
+        assert pat.active_batches(0, pat.period - 1e-6) == 1
+
+    def test_pipelined_two_active_batches(self, chain, alloc, platform):
+        pat = pipelined_pattern(chain, alloc, platform)
+        # stage 0: h_B - h_F = 1, plus the batch whose F just ran
+        assert pat.active_batches(0, 1.0) == 2
+
+    def test_memory_peaks_values(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        peaks = pat.memory_peaks(chain)
+        # stage 0: 3*4MB weights + 1*(a0..a3)=4*8MB + out buffer 2*8MB
+        assert peaks[0] == pytest.approx((12 + 32 + 16) * MB)
+        # stage 1: 3*4MB + 4*8MB + in buffer 2*8MB
+        assert peaks[1] == pytest.approx((12 + 32 + 16) * MB)
+
+    def test_check_memory_raises_when_tight(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        small = Platform.of(2, 0.05, 12)  # ~51 MB < 60 MB peak
+        with pytest.raises(PatternError, match="memory"):
+            pat.check_memory(chain, small)
+
+    def test_throughput(self, chain, alloc, platform):
+        pat = pipelined_pattern(chain, alloc, platform)
+        assert pat.throughput == pytest.approx(1.0 / pat.period)
+
+
+class TestDependencyEdges:
+    def test_edges_with_comm(self, chain, alloc, platform):
+        pat = sequential_pattern(chain, alloc, platform)
+        edges = set(pat.dependency_edges())
+        assert (("F", 0), ("CF", 0)) in edges
+        assert (("CF", 0), ("F", 1)) in edges
+        assert (("B", 1), ("CB", 0)) in edges
+        assert (("F", 1), ("B", 1)) in edges
+
+    def test_edges_without_comm(self, chain, platform):
+        alloc = Allocation(Partitioning.from_cuts(8, [4]), (0, 0))
+        pat = PeriodicPattern(allocation=alloc, period=36.0)
+        pat.add(Op("F", 0, gpu(0), 0.0, 4.0, 0))
+        pat.add(Op("F", 1, gpu(0), 4.0, 4.0, 0))
+        pat.add(Op("B", 1, gpu(0), 8.0, 8.0, 0))
+        pat.add(Op("B", 0, gpu(0), 16.0, 8.0, 0))
+        edges = set(pat.dependency_edges())
+        assert (("F", 0), ("F", 1)) in edges
+        assert (("B", 1), ("B", 0)) in edges
+        pat.validate(chain, Platform.of(1, 1.0, 12))

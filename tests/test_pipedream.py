@@ -1,0 +1,114 @@
+"""Tests for the PipeDream baseline partitioner."""
+
+import pytest
+
+from repro.algorithms.pipedream import pipedream, pipedream_partition
+from repro.core import Platform
+from repro.core.memory import stage_memory
+from repro.models import random_chain, uniform_chain
+
+MB = float(2**20)
+
+
+class TestPartitioner:
+    def test_uniform_chain_balanced(self, uniform8, roomy4):
+        part, dp = pipedream_partition(uniform8, roomy4)
+        assert part is not None
+        assert part.n_stages == 4
+        assert all(len(s) == 2 for s in part)
+        assert dp == pytest.approx(uniform8.U(1, 2))
+
+    def test_covers_chain(self, cnnlike16, roomy4):
+        part, _ = pipedream_partition(cnnlike16, roomy4)
+        part.validate_cover(cnnlike16)
+
+    def test_respects_memory_estimate(self, cnnlike16):
+        found = False
+        for mem in (2.0, 1.5, 1.2, 0.9):
+            plat = Platform.of(4, mem, 12)
+            part, _ = pipedream_partition(cnnlike16, plat)
+            if part is None:
+                continue
+            found = True
+            n = part.n_stages
+            for i, s in enumerate(part):
+                assert stage_memory(cnnlike16, s.start, s.end, n - i) <= plat.memory
+        assert found, "no feasible memory level in the scan"
+
+    def test_may_use_fewer_stages(self, uniform8):
+        # communication so expensive that fewer cuts win
+        slow = Platform.of(4, 1024.0, 1e-4)
+        part, _ = pipedream_partition(uniform8, slow)
+        assert part.n_stages == 1
+
+    def test_infeasible_when_memory_tiny(self, uniform8):
+        tiny = Platform.of(2, 1 * MB / 2**30, 12)
+        part, dp = pipedream_partition(uniform8, tiny)
+        assert part is None and dp == float("inf")
+
+    def test_dp_period_is_bottleneck(self, cnnlike16, roomy4):
+        part, dp = pipedream_partition(cnnlike16, roomy4)
+        bottleneck = max(
+            max(s.compute(cnnlike16) for s in part),
+            max(
+                (
+                    cnnlike16.comm_time(s.end, roomy4.bandwidth)
+                    for s in list(part)[:-1]
+                ),
+                default=0.0,
+            ),
+        )
+        assert dp == pytest.approx(bottleneck)
+
+
+class TestFullBaseline:
+    def test_valid_schedule_at_least_dp(self, cnnlike16, roomy4):
+        res = pipedream(cnnlike16, roomy4)
+        assert res.feasible
+        assert res.period >= res.dp_period - 1e-9
+
+    def test_valid_pattern(self, cnnlike16, roomy4):
+        res = pipedream(cnnlike16, roomy4)
+        res.schedule.pattern.validate(cnnlike16, roomy4)
+        res.schedule.pattern.check_memory(cnnlike16, roomy4)
+
+    def test_optimistic_estimate_is_beaten_by_comm_groups(self):
+        """The paper's key observation (§5.1): PipeDream assumes at most P
+        activation copies, but with communication pseudo-stages the first
+        stage may need up to 2P−1.  We build the minimal counterexample:
+        two unit stages separated by a 1.5-second communication, so the
+        1F1B* item loads are (1, 1.5, 1).  At PipeDream's optimistic
+        period T=1.5 the first stage sits in group 3, needing 3 copies —
+        one more than PipeDream budgets.  With memory for exactly 2
+        copies, the valid schedule must enlarge the period."""
+        from repro.core import Chain, LayerProfile
+
+        a0 = 2**30  # 1 GB input activation dominates stage-1 memory
+        a1 = 0.75 * 2**30  # with beta = 1 GB/s: C(1) = 1.5 s
+        chain = Chain(
+            layers=[
+                LayerProfile("l1", u_f=0.4, u_b=0.6, weights=0.0, activation=a1),
+                LayerProfile("l2", u_f=0.4, u_b=0.6, weights=0.0, activation=1.0),
+            ],
+            input_activation=a0,
+            name="counterexample",
+        )
+        # stage-1 memory is g*a0 + 2*a1; grant PipeDream's budget g = 2
+        mem_gb = (2 * a0 + 2 * a1) / 2**30
+        platform = Platform.of(2, mem_gb, 1.0)
+        res = pipedream(chain, platform)
+        assert res.feasible
+        assert res.partitioning.n_stages == 2
+        # item loads (1, 1.5, 1): PipeDream expects the comm bottleneck
+        assert res.dp_period == pytest.approx(1.5)
+        # ...but at T=1.5 stage 1 lands in group 3 (3 copies > budget);
+        # the smallest feasible period merges {U2, C} into one group
+        assert res.period == pytest.approx(2.5)
+        res.schedule.pattern.validate(chain, platform)
+        assert res.schedule.groups[0] == 2  # stage 1 now in group 2
+
+    def test_infeasible_result(self, uniform8):
+        tiny = Platform.of(2, 1 * MB / 2**30, 12)
+        res = pipedream(uniform8, tiny)
+        assert not res.feasible
+        assert res.period == float("inf")

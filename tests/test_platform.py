@@ -1,0 +1,34 @@
+"""Unit tests for the platform model."""
+
+import pytest
+
+from repro.core import GB, GBPS, Platform
+
+
+class TestPlatform:
+    def test_of_uses_paper_units(self):
+        p = Platform.of(4, 8, 12)
+        assert p.n_procs == 4
+        assert p.memory == 8 * GB
+        assert p.bandwidth == 12 * GBPS
+
+    def test_alias(self):
+        assert Platform.of(3, 1, 1).P == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_procs=0, memory=1.0, bandwidth=1.0),
+            dict(n_procs=1, memory=0.0, bandwidth=1.0),
+            dict(n_procs=1, memory=1.0, bandwidth=0.0),
+            dict(n_procs=-2, memory=1.0, bandwidth=1.0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Platform(**kwargs)
+
+    def test_frozen(self):
+        p = Platform.of(2, 4, 12)
+        with pytest.raises(AttributeError):
+            p.n_procs = 3

@@ -1,0 +1,110 @@
+"""Tests for the report module and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.algorithms import min_feasible_period
+from repro.cli import main
+from repro.core import Partitioning, load_pattern
+from repro.profiling import save_chain
+from repro.viz import chain_report, schedule_report
+
+
+class TestChainReport:
+    def test_all_layers(self, tiny_chain):
+        text = chain_report(tiny_chain)
+        assert "L=4" in text
+        for name in ("a", "b", "c", "d"):
+            assert f" {name}" in text
+
+    def test_top_filter(self, cnnlike16):
+        text = chain_report(cnnlike16, top=3)
+        # header + 3 rows
+        assert len(text.splitlines()) == 2 + 3
+
+
+class TestScheduleReport:
+    def test_contents(self, cnnlike16, roomy4):
+        part = Partitioning.from_cuts(16, [4, 8, 12])
+        res = min_feasible_period(cnnlike16, roomy4, part)
+        text = schedule_report(cnnlike16, roomy4, res.pattern)
+        assert f"period {res.period:.6g}" in text
+        assert "headroom" in text
+        assert text.count("\n") >= 4 + 4  # stage rows + gpu rows
+
+
+class TestCLI:
+    def test_profile_report_schedule_pipeline(self, tmp_path, capsys):
+        profile = tmp_path / "chain.json"
+        sched = tmp_path / "sched.json"
+        rc = main(
+            [
+                "profile",
+                "vgg16",
+                "--image-size",
+                "128",
+                "--batch",
+                "2",
+                "-o",
+                str(profile),
+            ]
+        )
+        assert rc == 0
+        assert profile.exists()
+        assert json.loads(profile.read_text())["name"] == "vgg16"
+
+        rc = main(["report", str(profile), "--top", "5"])
+        assert rc == 0
+        assert "vgg16" in capsys.readouterr().out
+
+        rc = main(
+            [
+                "schedule",
+                str(profile),
+                "-p",
+                "2",
+                "-m",
+                "2",
+                "--grid",
+                "coarse",
+                "--gantt",
+                "-o",
+                str(sched),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "period" in out and "GPU 0" in out
+        pattern = load_pattern(sched)
+        assert pattern.period > 0
+
+    def test_unknown_network(self, capsys):
+        assert main(["profile", "alexnet"]) == 2
+
+    def test_infeasible_schedule(self, tmp_path, uniform8, capsys):
+        profile = tmp_path / "u8.json"
+        save_chain(uniform8, profile)
+        rc = main(
+            ["schedule", str(profile), "-p", "2", "-m", "0.001", "--grid", "coarse"]
+        )
+        assert rc == 1
+        assert "no memory-feasible" in capsys.readouterr().out
+
+    def test_pipedream_algorithm(self, tmp_path, cnnlike16, capsys):
+        profile = tmp_path / "c16.json"
+        save_chain(cnnlike16, profile)
+        rc = main(
+            [
+                "schedule",
+                str(profile),
+                "-p",
+                "4",
+                "-m",
+                "64",
+                "-a",
+                "pipedream",
+            ]
+        )
+        assert rc == 0
+        assert "period" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Tests for allocation/pattern JSON serialization."""
+
+import pytest
+
+from repro.algorithms import min_feasible_period
+from repro.core import (
+    Allocation,
+    Partitioning,
+    allocation_from_dict,
+    allocation_to_dict,
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_pattern,
+)
+
+
+class TestAllocationRoundtrip:
+    def test_contiguous(self):
+        a = Allocation.contiguous(Partitioning.from_cuts(10, [3, 7]))
+        b = allocation_from_dict(allocation_to_dict(a))
+        assert b == a
+
+    def test_special(self):
+        a = Allocation(Partitioning.from_cuts(10, [2, 5, 7]), (3, 0, 1, 3))
+        b = allocation_from_dict(allocation_to_dict(a))
+        assert b.stages == a.stages
+        assert b.procs == a.procs
+        assert b.special_procs() == [3]
+
+
+class TestPatternRoundtrip:
+    @pytest.fixture
+    def pattern(self, cnnlike16, roomy4):
+        part = Partitioning.from_cuts(16, [4, 8, 12])
+        return min_feasible_period(cnnlike16, roomy4, part).pattern
+
+    def test_dict_roundtrip(self, pattern, cnnlike16, roomy4):
+        clone = pattern_from_dict(pattern_to_dict(pattern))
+        assert clone.period == pattern.period
+        assert set(clone.ops) == set(pattern.ops)
+        for key, op in pattern.ops.items():
+            c = clone.ops[key]
+            assert c.start == op.start
+            assert c.duration == op.duration
+            assert c.shift == op.shift
+            assert c.resource == op.resource
+        clone.validate(cnnlike16, roomy4)
+
+    def test_file_roundtrip(self, pattern, tmp_path, cnnlike16, roomy4):
+        path = tmp_path / "sched.json"
+        save_pattern(pattern, path)
+        clone = load_pattern(path)
+        clone.validate(cnnlike16, roomy4)
+        assert clone.memory_peaks(cnnlike16) == pattern.memory_peaks(cnnlike16)
+
+    def test_resources_are_tuples(self, pattern):
+        clone = pattern_from_dict(pattern_to_dict(pattern))
+        for op in clone.ops.values():
+            assert isinstance(op.resource, tuple)
