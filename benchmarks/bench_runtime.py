@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms import Discretization, madpipe_dp, min_feasible_period, pipedream
+from repro.algorithms import Discretization, madpipe_dp, min_feasible_period
 from repro.algorithms.pipedream import pipedream_partition
 from repro.core import Platform
 from repro.experiments import paper_chain

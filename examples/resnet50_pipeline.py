@@ -37,7 +37,8 @@ def main() -> None:
     print(
         f"ResNet-50 @1000px batch 8: {chain.L} chain layers, "
         f"sequential batch time {seq:.3f}s, "
-        f"single-copy footprint {(3 * chain.weights(1, chain.L) + chain.stored_activations(1, chain.L)) / GB:.1f} GiB"
+        f"single-copy footprint "
+        f"{(3 * chain.weights(1, chain.L) + chain.stored_activations(1, chain.L)) / GB:.1f} GiB"
     )
     print(f"{'M (GB)':>7} {'PipeDream':>12} {'MadPipe':>12} {'speedup':>8}")
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Run the DP hot-path benchmark and record it to ``BENCH_dp.json``.
+
+The JSON file is the repo's performance trajectory for the MadPipe DP:
+each entry of ``"runs"`` is one (network, grid) measurement of
+``algorithm1`` — vectorized solver vs the naive reference — produced by
+``benchmarks/bench_dp_hotpath.py``.  Subsequent performance PRs should
+re-run this script and compare against the committed numbers before and
+after their change.
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python scripts/bench_report.py [--smoke] [-o BENCH_dp.json]
+
+``--smoke`` does a single-repeat, coarse-grid pass (used by CI to keep
+the script from rotting); full mode times coarse/default/paper grids on
+ResNet-50 and ResNet-101 with best-of-3 repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as platform_mod
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_dp_hotpath import render, run_bench  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="1 repeat, coarse grid only — just proves the harness works",
+    )
+    parser.add_argument(
+        "-o", "--out", default=str(REPO_ROOT / "BENCH_dp.json"), help="output path"
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        runs = run_bench(
+            networks=("resnet50",),
+            grids=("coarse",),
+            repeats=1,
+            iterations=4,
+            reference_grids=("coarse",),
+        )
+    else:
+        runs = run_bench()
+
+    payload = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "smoke": args.smoke,
+        "python": platform_mod.python_version(),
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=1) + "\n")
+
+    print(render(runs))
+    ratios = [r["speedup"] for r in runs if "speedup" in r]
+    if ratios:
+        print(f"\nmin speedup vs naive reference: {min(ratios):.1f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

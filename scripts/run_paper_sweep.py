@@ -37,13 +37,24 @@ def main() -> int:
     parser.add_argument(
         "--out", default="results/paper_grid.json", help="cache file path"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan instances out over N worker processes (1 = serial)",
+    )
     args = parser.parse_args()
 
     Path(args.out).parent.mkdir(parents=True, exist_ok=True)
-    cache = ResultCache(args.out)
+    cache = ResultCache(args.out, flush_every=8)
     grid = Discretization.coarse()
     kwargs = dict(
-        grid=grid, iterations=8, ilp_time_limit=30.0, cache=cache, verbose=True
+        grid=grid,
+        iterations=8,
+        ilp_time_limit=30.0,
+        cache=cache,
+        verbose=True,
+        n_workers=args.workers,
     )
 
     t0 = time.time()

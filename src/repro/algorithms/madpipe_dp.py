@@ -23,17 +23,46 @@ Algorithm 1 then binary-searches the target ``T̂`` for
 ``min max(MadPipe-DP(T̂), T̂)``.
 
 The continuous coordinates ``t_P``, ``m_P``, ``V`` are snapped to a
-:class:`Discretization` grid (the paper uses 101 × 11 × 51 points); the
-recursion is memoized top-down so only *reachable* grid states are ever
-evaluated, and candidate stages whose immediate load already exceeds a
-known upper bound are pruned.
+:class:`Discretization` grid (the paper uses 101 × 11 × 51 points).
+
+Implementation
+--------------
+The DP is evaluated *iteratively* and *vectorized* — there is no Python
+recursion and no ``sys.setrecursionlimit``.  Every transition moves to a
+strictly smaller layer index ``l``, so the reachable state graph is
+stratified by ``l``.  States are packed into a single integer key
+``((((l·(P+1) + p)·n_t + it)·n_m + im)·n_v + iv`` and processed one
+*level* (all states sharing ``l``) at a time:
+
+1. a **downward reachability sweep** (``l = L … 1``) expands whole
+   levels as 2-D NumPy arrays — ``U(k,l)``, communication costs,
+   ``mem(k,l,g)`` and the ``g``/``⊕`` terms are computed for all
+   ``(state, k)`` pairs at once, with ``period_cap``/memory masks
+   applied in bulk — scattering the reachable children into one flat
+   bitmap over the packed key space, so each level's sorted key array
+   is a single ``flatnonzero`` (no sorting or dedup passes);
+2. an **upward value sweep** (``l = 1 … L``) re-expands each reachable
+   level, gathers child values by direct indexing into a dense value
+   table over the packed key space (level 0 is prefilled closed-form;
+   lower levels are solved first, so every lookup hits a written
+   entry), and reduces the interleaved ``(normal, special)`` candidate
+   matrix with one ``argmin`` per level.  First-minimum ``argmin``
+   over candidates ordered ``k = l … 1`` × (normal, special)
+   reproduces the naive scan's tie-breaking exactly, so results are
+   bit-identical to
+   :func:`repro.algorithms.madpipe_dp_reference.madpipe_dp_reference`.
+
+Only *reachable* grid states are ever touched, exactly as in the
+memoized recursion; candidate stages whose load already exceeds a known
+upper bound (``period_cap``) are pruned in bulk.
 """
 
 from __future__ import annotations
 
-import math
-import sys
+import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..core.chain import Chain
 from ..core.partition import Allocation, Partitioning, Stage
@@ -49,6 +78,9 @@ __all__ = [
 
 INF = float("inf")
 _EPS = 1e-9
+
+_NO_CHILD = -1  # decision sentinel: stage closes the chain (p == 0 base)
+_NO_DEC = -2  # decision sentinel: state is infeasible
 
 
 @dataclass(frozen=True)
@@ -116,7 +148,10 @@ class MadPipeDPResult:
     target: float  # T̂ used for the memory estimates
     dp_period: float  # load-based period of the returned allocation (T)
     allocation: DPAllocation | None
-    states: int = 0  # memoized states (diagnostics)
+    states: int = 0  # reachable (evaluated) grid states (diagnostics)
+    wall_time_s: float = 0.0  # solver wall time (diagnostics)
+    pruned_cap: int = 0  # candidates rejected by the period cap
+    pruned_mem: int = 0  # candidates rejected by the memory check
 
     @property
     def effective_period(self) -> float:
@@ -126,6 +161,316 @@ class MadPipeDPResult:
     @property
     def feasible(self) -> bool:
         return self.allocation is not None
+
+
+class _LevelDP:
+    """One MadPipe-DP(T̂) evaluation, batched level by level.
+
+    Packed state key layout (most→least significant digit):
+    ``l · S_l + p · S_p + it · S_t + im · S_m + iv``.
+    """
+
+    def __init__(
+        self,
+        chain: Chain,
+        platform: Platform,
+        target: float,
+        grid: Discretization,
+        period_cap: float,
+        allow_special: bool,
+    ):
+        self.L, self.P, self.M = chain.L, platform.n_procs, platform.memory
+        self.beta = platform.bandwidth
+        self.That = target
+        self.cap = period_cap
+        self.allow_special = allow_special
+
+        t_max = chain.total_compute()
+        v_max = t_max + chain.total_comm(self.beta)
+        self.t_step = t_max / (grid.n_t - 1)
+        self.m_step = self.M / (grid.n_m - 1)
+        self.v_step = v_max / (grid.n_v - 1)
+        self.it_top = grid.n_t - 1
+        self.im_top = grid.n_m - 1
+        self.iv_top = grid.n_v - 1
+
+        # packed-key strides
+        self.S_m = grid.n_v
+        self.S_t = grid.n_m * self.S_m
+        self.S_p = grid.n_t * self.S_t
+        self.S_l = (self.P + 1) * self.S_p
+        self.n_t = grid.n_t
+
+        self.cumU = chain._cum_u
+        self.cumW = chain._cum_w
+        self.cumA = chain._cum_a_in
+        self.act = chain._act
+
+        # per-level static candidate rows, index j = l - k (k descending)
+        self._rows: dict[int, tuple] = {}
+
+        # per-level solved state: packed keys (sorted), values, decisions
+        self.level_keys: list[np.ndarray | None] = [None] * (self.L + 1)
+        self.level_vals: list[np.ndarray | None] = [None] * (self.L + 1)
+        self.level_k: list[np.ndarray | None] = [None] * (self.L + 1)
+        self.level_spec: list[np.ndarray | None] = [None] * (self.L + 1)
+        self.level_child: list[np.ndarray | None] = [None] * (self.L + 1)
+
+        self.states = 0
+        self.pruned_cap = 0
+        self.pruned_mem = 0
+
+    # -- static per-level data ---------------------------------------------
+
+    def _static_rows(self, l: int) -> tuple:
+        """Candidate-stage constants for level ``l``: arrays over the cut
+        layer ``k = l … 1`` (index ``j = l − k``)."""
+        rows = self._rows.get(l)
+        if rows is not None:
+            return rows
+        # cumU[k-1], cumW[k-1], cumA[k-1] for k = l..1  →  reversed prefixes
+        U = self.cumU[l] - self.cumU[l - 1 :: -1]
+        dw3 = 3.0 * (self.cumW[l] - self.cumW[l - 1 :: -1])
+        da = self.cumA[l] - self.cumA[l - 1 :: -1]
+        a_in = self.act[: l][::-1].copy()  # a^{(k-1)}, zeroed at k == 1
+        a_in[l - 1] = 0.0
+        comm = 2.0 * a_in / self.beta
+        b1 = 2.0 * a_in  # first-boundary buffers (k > 1 only)
+        b2 = 2.0 * self.act[l] if l < self.L else 0.0
+        local_n = np.maximum(U, comm)
+        kb = np.arange(l - 1, -1, -1, dtype=np.int64) * self.S_l  # (k-1)·S_l
+        rows = (U, dw3, da, comm, b1, b2, local_n, kb)
+        self._rows[l] = rows
+        return rows
+
+    def _unpack(self, keys: np.ndarray) -> tuple:
+        p = (keys // self.S_p) % (self.P + 1)
+        it = (keys // self.S_t) % self.n_t
+        im = (keys // self.S_m) % (self.S_t // self.S_m)
+        iv = keys % self.S_m
+        return p, it, im, iv
+
+    # -- level expansion ----------------------------------------------------
+
+    def _expand(self, l: int, keys: np.ndarray, count: bool = False) -> tuple:
+        """Vectorized candidate generation for all ``p ≥ 1`` states of one
+        level: validity masks, packed child keys and local costs, shaped
+        ``(n_states, l)`` with ``k`` descending along axis 1.
+
+        ``count=True`` accumulates the pruning counters (the expansion
+        runs once per pass, so only the discovery pass counts).
+        """
+        U, dw3, da, comm, b1, b2, local_n, kb = self._static_rows(l)
+        That, cap, M = self.That, self.cap, self.M
+        p, it, im, iv = self._unpack(keys)
+        V = iv * self.v_step
+        t_P = it * self.t_step
+        m_P = im * self.m_step
+
+        VU = V[:, None] + U[None, :]
+        cVU = np.ceil(VU / That - 1e-9)
+        g = np.maximum(cVU, 1.0)
+        mem_g = dw3 + g * da
+        mem_g += b1
+        mem_g += b2
+        mem_gm1 = dw3 + (g - 1.0) * da
+        mem_gm1 += b1
+        mem_gm1 += b2
+
+        # V2 = (V ⊕ U(k,l)) ⊕ C(k-1), elementwise group rounding
+        cV = np.ceil(V / That - 1e-9)
+        r1 = np.where(cV[:, None] == cVU, VU, That * cV[:, None] + U[None, :])
+        cr1 = np.ceil(r1 / That - 1e-9)
+        V2 = np.where(
+            cr1 == np.ceil((r1 + comm) / That - 1e-9), r1 + comm, That * cr1 + comm
+        )
+        iv2 = np.minimum(np.ceil(V2 / self.v_step - 1e-9), self.iv_top).astype(np.int64)
+
+        # normal processor: child (k-1, p-1, it, im, iv2)
+        cap_ok_n = U < cap  # also subsumes the naive loop's break condition
+        valid_n = cap_ok_n & (mem_g <= M + _EPS)
+        base_n = (p - 1) * self.S_p + it * self.S_t + im * self.S_m
+        child_n = kb[None, :] + base_n[:, None] + iv2
+
+        # special processor: child (k-1, p, it2, im2, iv2)
+        t2 = t_P[:, None] + U[None, :]
+        m2 = m_P[:, None] + mem_gm1
+        if self.allow_special:
+            cap_ok_s = t2 < cap
+            valid_s = cap_ok_s & (m2 <= M + _EPS)
+            if count:
+                self.pruned_cap += int(np.sum(~cap_ok_s))
+                self.pruned_mem += int(np.sum(cap_ok_s & (m2 > M + _EPS)))
+        else:
+            valid_s = np.zeros_like(t2, dtype=bool)
+        it2 = np.minimum(np.ceil(t2 / self.t_step - 1e-9), self.it_top).astype(np.int64)
+        im2 = np.minimum(np.ceil(m2 / self.m_step - 1e-9), self.im_top).astype(np.int64)
+        child_s = kb[None, :] + p[:, None] * self.S_p + it2 * self.S_t
+        child_s += im2 * self.S_m + iv2
+
+        if count:
+            self.pruned_cap += int(np.sum(~cap_ok_n))
+            self.pruned_mem += int(np.sum(cap_ok_n & (mem_g > M + _EPS)))
+
+        local_s = np.maximum(t2, comm)
+        return valid_n, child_n, local_n, valid_s, child_s, local_s
+
+    def _base_p0(self, l: int, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Values of the ``p == 0`` states of one level: all remaining
+        layers become one stage on the special processor."""
+        _, it, im, iv = self._unpack(keys)
+        V = iv * self.v_step
+        t_P = it * self.t_step
+        m_P = im * self.m_step
+        U_1l = float(self.cumU[l])
+        g = np.maximum(np.ceil((V + U_1l) / self.That - 1e-9), 1.0)
+        m = 3.0 * float(self.cumW[l]) + (g - 1.0) * float(self.cumA[l])
+        if l < self.L:
+            m = m + 2.0 * float(self.act[l])
+        feasible = (m_P + m <= self.M + _EPS) if self.allow_special else np.zeros(
+            len(keys), dtype=bool
+        )
+        vals = np.where(feasible, U_1l + t_P, INF)
+        return vals, feasible
+
+    # -- passes -------------------------------------------------------------
+
+    def discover(self, root: int) -> None:
+        """Downward sweep: compute the reachable state set of every level.
+
+        Reachability lives in one flat bitmap over the packed key space:
+        valid child matrices are scattered wholesale (``seen[kids] =
+        True`` dedups for free), and each level's sorted key array is a
+        single ``flatnonzero`` over its segment of the bitmap — levels
+        are processed in descending ``l``, so every parent has been
+        expanded by the time a segment is read.
+        """
+        S_l = self.S_l
+        seen = np.zeros((self.L + 1) * S_l, dtype=bool)
+        seen[root] = True
+        for l in range(self.L, 0, -1):
+            keys = np.flatnonzero(seen[l * S_l : (l + 1) * S_l])
+            if not len(keys):
+                self.level_keys[l] = np.empty(0, dtype=np.int64)
+                continue
+            keys = keys + l * S_l  # sorted, deduped by construction
+            self.level_keys[l] = keys
+            self.states += len(keys)
+            p = (keys // self.S_p) % (self.P + 1)
+            keys_b = keys[p >= 1]
+            if not len(keys_b):
+                continue
+            valid_n, child_n, _, valid_s, child_s, _ = self._expand(
+                l, keys_b, count=True
+            )
+            # level-0 children land in the bitmap too, but their segment
+            # is never read back (T(0, ·) is closed-form in reduce())
+            seen[child_n[valid_n]] = True
+            seen[child_s[valid_s]] = True
+
+    def reduce(self) -> None:
+        """Upward sweep: solve every reachable level bottom-up.
+
+        Child values are gathered by direct indexing into a dense value
+        table over the packed key space.  ``np.empty`` is safe: level 0
+        is prefilled closed-form, every other child a level references
+        was scattered during discovery (the expansion is deterministic,
+        so both passes produce the same validity masks), and lower
+        levels are written before higher levels read them.
+        """
+        S_l, S_t, n_t = self.S_l, self.S_t, self.n_t
+        dense = np.empty((self.L + 1) * S_l, dtype=float)
+        # T(0, p, it, im, iv) = it · t_step — closing the chain leaves
+        # only the special-processor load (same formula for every p/im/iv)
+        dense[:S_l] = ((np.arange(S_l) // S_t) % n_t) * self.t_step
+        for l in range(1, self.L + 1):
+            keys = self.level_keys[l]
+            if keys is None or not len(keys):
+                self.level_keys[l] = np.empty(0, dtype=np.int64)
+                self.level_vals[l] = np.empty(0, dtype=float)
+                self.level_k[l] = np.empty(0, dtype=np.int64)
+                self.level_spec[l] = np.empty(0, dtype=bool)
+                self.level_child[l] = np.empty(0, dtype=np.int64)
+                continue
+            n = len(keys)
+            vals = np.empty(n, dtype=float)
+            best_k = np.full(n, _NO_DEC, dtype=np.int64)
+            best_spec = np.zeros(n, dtype=bool)
+            best_child = np.full(n, _NO_CHILD, dtype=np.int64)
+
+            p = (keys // self.S_p) % (self.P + 1)
+            mask0 = p == 0
+            if mask0.any():
+                v0, feas0 = self._base_p0(l, keys[mask0])
+                vals[mask0] = v0
+                idx0 = np.flatnonzero(mask0)
+                best_k[idx0[feas0]] = 1
+                best_spec[idx0[feas0]] = True
+            maskB = ~mask0
+            if maskB.any():
+                keys_b = keys[maskB]
+                valid_n, child_n, local_n, valid_s, child_s, local_s = self._expand(
+                    l, keys_b
+                )
+                sub_n = dense[child_n]
+                sub_s = dense[child_s]
+                cand_n = np.where(valid_n, np.maximum(local_n[None, :], sub_n), INF)
+                cand_s = np.where(valid_s, np.maximum(local_s, sub_s), INF)
+                nb, l2 = cand_n.shape[0], 2 * l
+                cand = np.empty((nb, l2), dtype=float)
+                cand[:, 0::2] = cand_n  # naive scan order: k desc,
+                cand[:, 1::2] = cand_s  # normal before special
+                j = np.argmin(cand, axis=1)
+                rows = np.arange(nb)
+                bv = cand[rows, j]
+                vals[maskB] = bv
+                jk = j >> 1
+                spec = (j & 1).astype(bool)
+                child = np.where(spec, child_s[rows, jk], child_n[rows, jk])
+                idxB = np.flatnonzero(maskB)
+                ok = bv < INF
+                best_k[idxB[ok]] = (l - jk)[ok]
+                best_spec[idxB[ok]] = spec[ok]
+                best_child[idxB[ok]] = child[ok]
+
+            self.level_vals[l] = vals
+            self.level_k[l] = best_k
+            self.level_spec[l] = best_spec
+            self.level_child[l] = best_child
+            dense[keys] = vals
+
+    def solve(self, root: int) -> tuple[float, list[Stage], list[bool]]:
+        self.discover(root)
+        self.reduce()
+        S_l = self.S_l
+        stages: list[Stage] = []
+        special: list[bool] = []
+        key = root
+        period = INF
+        first = True
+        while True:
+            l = int(key // S_l)
+            if l == 0:
+                break
+            keys = self.level_keys[l]
+            i = int(np.searchsorted(keys, key))
+            if first:
+                period = float(self.level_vals[l][i])
+                first = False
+                if period == INF:
+                    break
+            k = int(self.level_k[l][i])
+            if k == _NO_DEC:
+                break
+            stages.append(Stage(k, l))
+            special.append(bool(self.level_spec[l][i]))
+            child = int(self.level_child[l][i])
+            if child == _NO_CHILD:
+                break
+            key = child
+        stages.reverse()
+        special.reverse()
+        return period, stages, special
 
 
 def madpipe_dp(
@@ -147,134 +492,32 @@ def madpipe_dp(
     if target <= 0:
         raise ValueError("target period must be positive")
     grid = grid or Discretization.default()
-    L, P, M = chain.L, platform.n_procs, platform.memory
-    beta = platform.bandwidth
-    That = target
-
-    t_max = chain.total_compute()
-    v_max = t_max + chain.total_comm(beta)
-    t_step = t_max / (grid.n_t - 1)
-    m_step = M / (grid.n_m - 1)
-    v_step = v_max / (grid.n_v - 1)
-    it_top, im_top, iv_top = grid.n_t - 1, grid.n_m - 1, grid.n_v - 1
-
-    # hot-loop locals: O(1) range queries from prefix sums, no method calls
-    cumU = chain._cum_u.tolist()  # U(k,l) = cumU[l] - cumU[k-1]
-    cumW = chain._cum_w.tolist()
-    cumA = chain._cum_a_in.tolist()  # Σ a_{i-1} over k..l
-    act = chain._act.tolist()  # a^{(l)}, index 0..L
-    ceil = math.ceil
-
-    def mem(k: int, l: int, g: int) -> float:
-        """``M(k, l, g)`` of §4.2.1 (buffers dropped at chain ends)."""
-        m = 3.0 * (cumW[l] - cumW[k - 1]) + g * (cumA[l] - cumA[k - 1])
-        if k > 1:
-            m += 2.0 * act[k - 1]
-        if l < L:
-            m += 2.0 * act[l]
-        return m
-
-    def oplus(x: float, y: float) -> float:
-        """Group-rounding delay addition (paper §4.2.2)."""
-        cx = ceil(x / That - 1e-9)
-        if cx == ceil((x + y) / That - 1e-9):
-            return x + y
-        return That * cx + y
-
-    # memo[(l, p, it, im, iv)] = (period, decision)
-    # decision: (k, is_special, child_key) or None at base cases
-    memo: dict[tuple, tuple[float, tuple | None]] = {}
-
-    sys.setrecursionlimit(max(sys.getrecursionlimit(), 10 * L + 1000))
-
-    def solve(l: int, p: int, it: int, im: int, iv: int) -> tuple[float, tuple | None]:
-        if l == 0:
-            return (it * t_step, None)
-        key = (l, p, it, im, iv)
-        hit = memo.get(key)
-        if hit is not None:
-            return hit
-        t_P, m_P, V = it * t_step, im * m_step, iv * v_step
-        best: float = INF
-        best_dec: tuple | None = None
-
-        if p == 0:
-            # all remaining layers become one stage on the special processor
-            U_1l = cumU[l]
-            g = max(1, ceil((V + U_1l) / That - 1e-9))
-            if allow_special and m_P + mem(1, l, g - 1) <= M + _EPS:
-                best = U_1l + t_P
-                best_dec = (1, True, None)
-            memo[key] = (best, best_dec)
-            return memo[key]
-
-        cumU_l = cumU[l]
-        for k in range(l, 0, -1):
-            U_kl = cumU_l - cumU[k - 1]
-            comm = 2.0 * act[k - 1] / beta if k > 1 else 0.0
-            if U_kl >= period_cap and t_P + U_kl >= period_cap:
-                break  # larger stages only get worse
-            g = ceil((V + U_kl) / That - 1e-9)
-            if g < 1:
-                g = 1
-            V2 = oplus(oplus(V, U_kl), comm)
-            iv2 = ceil(V2 / v_step - 1e-9)
-            if iv2 > iv_top:
-                iv2 = iv_top
-            # normal processor
-            if U_kl < period_cap and mem(k, l, g) <= M + _EPS:
-                sub, _ = solve(k - 1, p - 1, it, im, iv2)
-                cand = max(U_kl, comm, sub)
-                if cand < best:
-                    best = cand
-                    best_dec = (k, False, (k - 1, p - 1, it, im, iv2))
-            # special processor
-            if allow_special:
-                t2 = t_P + U_kl
-                m2 = m_P + mem(k, l, g - 1)
-                if t2 < period_cap and m2 <= M + _EPS:
-                    it2 = ceil(t2 / t_step - 1e-9)
-                    if it2 > it_top:
-                        it2 = it_top
-                    im2 = ceil(m2 / m_step - 1e-9)
-                    if im2 > im_top:
-                        im2 = im_top
-                    sub, _ = solve(k - 1, p, it2, im2, iv2)
-                    cand = max(t2, comm, sub)
-                    if cand < best:
-                        best = cand
-                        best_dec = (k, True, (k - 1, p, it2, im2, iv2))
-        memo[key] = (best, best_dec)
-        return memo[key]
-
+    t0 = time.perf_counter()
+    dp = _LevelDP(chain, platform, target, grid, period_cap, allow_special)
     # P-1 normal processors plus the special one; without the special
     # processor all P processors are normal.
-    root = (L, P - 1 if allow_special else P, 0, 0, 0)
-    period, _ = solve(*root)
+    p0 = platform.n_procs - 1 if allow_special else platform.n_procs
+    root = chain.L * dp.S_l + p0 * dp.S_p
+    period, stages, special = dp.solve(root)
+    wall = time.perf_counter() - t0
     if period == INF:
-        return MadPipeDPResult(target, INF, None, states=len(memo))
-
-    # traceback
-    stages: list[Stage] = []
-    special: list[bool] = []
-    key = root
-    while True:
-        l = key[0]
-        if l == 0:
-            break
-        _, dec = memo[key] if key in memo else solve(*key)
-        if dec is None:
-            break
-        k, is_special, child = dec
-        stages.append(Stage(k, l))
-        special.append(is_special)
-        if child is None:
-            break
-        key = child
-    stages.reverse()
-    special.reverse()
+        return MadPipeDPResult(
+            target,
+            INF,
+            None,
+            states=dp.states,
+            wall_time_s=wall,
+            pruned_cap=dp.pruned_cap,
+            pruned_mem=dp.pruned_mem,
+        )
     return MadPipeDPResult(
-        target, period, DPAllocation(tuple(stages), tuple(special)), states=len(memo)
+        target,
+        period,
+        DPAllocation(tuple(stages), tuple(special)),
+        states=dp.states,
+        wall_time_s=wall,
+        pruned_cap=dp.pruned_cap,
+        pruned_mem=dp.pruned_mem,
     )
 
 
@@ -286,6 +529,10 @@ class Algorithm1Result:
     target: float  # the T̂ achieving it
     allocation: DPAllocation | None
     history: list[tuple[float, float]] = field(default_factory=list)  # (T̂_i, T_i)
+    states: int = 0  # reachable DP states, summed over probes
+    wall_time_s: float = 0.0  # total phase-1 wall time
+    pruned_cap: int = 0  # cap-pruned candidates, summed over probes
+    pruned_mem: int = 0  # memory-pruned candidates, summed over probes
 
     @property
     def feasible(self) -> bool:
@@ -299,18 +546,25 @@ def algorithm1(
     iterations: int = 10,
     grid: Discretization | None = None,
     allow_special: bool = True,
+    dp=None,
 ) -> Algorithm1Result:
     """Algorithm 1: modified binary search over the target period T̂.
 
     For each probe, ``min(T, T̂)`` is a lower bound of the optimal
     ``T̂*`` and ``max(T, T̂)`` an upper bound; the next probe bisects.
+
+    ``dp`` swaps the ``MadPipe-DP(T̂)`` evaluator (same signature and
+    result type as :func:`madpipe_dp`) — used by the golden tests and
+    benchmarks to drive the search with the reference implementation.
     """
+    dp = dp or madpipe_dp
+    t0 = time.perf_counter()
     lb = chain.total_compute() / platform.n_procs
     ub = chain.total_compute() + chain.total_comm(platform.bandwidth)
     That = lb
     best = Algorithm1Result(INF, That, None)
     for _ in range(iterations):
-        res = madpipe_dp(
+        res = dp(
             chain,
             platform,
             That,
@@ -320,6 +574,9 @@ def algorithm1(
         )
         T = res.dp_period
         best.history.append((That, T))
+        best.states += res.states
+        best.pruned_cap += res.pruned_cap
+        best.pruned_mem += res.pruned_mem
         if res.feasible and res.effective_period < best.period:
             best.period = res.effective_period
             best.target = That
@@ -330,4 +587,5 @@ def algorithm1(
             That = ub
         else:
             That = (lb + ub) / 2
+    best.wall_time_s = time.perf_counter() - t0
     return best

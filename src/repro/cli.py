@@ -54,6 +54,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.algorithm == "pipedream":
         res = pipedream(chain, platform)
         pattern = res.schedule.pattern if res.feasible else None
+        phase1 = None
     else:
         mp = madpipe(
             chain,
@@ -62,6 +63,17 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             ilp_time_limit=args.ilp_time_limit,
         )
         pattern = mp.pattern
+        phase1 = mp.phase1
+    if args.stats:
+        if phase1 is None:
+            print("solver stats: n/a (pipedream has no DP phase)")
+        else:
+            print(
+                f"phase-1 DP: {phase1.states} states over "
+                f"{len(phase1.history)} probes, {phase1.wall_time_s:.2f}s wall, "
+                f"pruned {phase1.pruned_cap} candidates by period cap, "
+                f"{phase1.pruned_mem} by memory"
+            )
     if pattern is None:
         print("no memory-feasible schedule found")
         return 1
@@ -103,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid", choices=("coarse", "default", "paper"), default="default"
     )
     p.add_argument("--ilp-time-limit", type=float, default=60.0)
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print DP diagnostics (states, wall time, pruning counters)",
+    )
     p.add_argument("--gantt", action="store_true")
     p.add_argument("--width", type=int, default=100)
     p.add_argument("-o", "--out", default=None)

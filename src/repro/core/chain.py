@@ -187,7 +187,9 @@ class Chain:
 
     def total_comm(self, bandwidth: float) -> float:
         """``Σ_{l=1}^{L-1} C(l)`` — total link time if every boundary cut."""
-        return sum(self.comm_time(l, bandwidth) for l in range(1, self.L))
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        return float(2.0 * self._act[1 : self.L].sum() / bandwidth)
 
     # -- helpers ------------------------------------------------------------
 

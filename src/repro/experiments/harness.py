@@ -5,12 +5,27 @@ with both the optimizer's own estimate (``dp_period``, the dashed lines
 of Fig. 6) and the certified valid-schedule period (``valid_period``, the
 solid lines).  Results serialize to JSON so that expensive sweeps run
 once and the figure generators replay them.
+
+Sweeps scale out two ways:
+
+* :func:`run_grid` fans uncached instances out over a
+  ``ProcessPoolExecutor`` when ``n_workers > 1`` (instances are
+  independent; the returned list keeps the deterministic grid order
+  regardless of completion order, and ``n_workers=1`` falls back to the
+  plain serial loop);
+* :class:`ResultCache` persists results to an *append-only* JSON-Lines
+  file — one ``json.dumps`` line per instance, flushed in batches — so a
+  sweep of N instances costs O(N) I/O instead of the O(N²) of rewriting
+  a monolithic JSON document on every insert.  Legacy caches written by
+  :func:`save_results` (a JSON array) are read transparently and
+  migrated to JSONL on the first write.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -109,6 +124,26 @@ def run_instance(
     )
 
 
+def _run_spec(
+    spec: tuple,
+    grid: Discretization | None,
+    iterations: int,
+    ilp_time_limit: float,
+) -> RunResult:
+    """Worker entry point: rebuild the (cached-per-process) chain from the
+    network name and run one instance.  Must stay module-level picklable."""
+    network, p, m, b, algo = spec
+    return run_instance(
+        paper_chain(network),
+        Platform.of(p, m, b),
+        algo,
+        network=network,
+        grid=grid,
+        iterations=iterations,
+        ilp_time_limit=ilp_time_limit,
+    )
+
+
 def run_grid(
     networks: tuple[str, ...],
     procs: tuple[int, ...],
@@ -121,73 +156,126 @@ def run_grid(
     ilp_time_limit: float = 60.0,
     cache: "ResultCache | None" = None,
     verbose: bool = False,
+    n_workers: int = 1,
 ) -> list[RunResult]:
-    """Run a full scenario grid, replaying cached instances if available."""
-    out: list[RunResult] = []
-    for network in networks:
-        chain = paper_chain(network)
-        for p in procs:
-            for b in bandwidths_gbps:
-                for m in memories_gb:
-                    platform = Platform.of(p, m, b)
-                    for algo in algorithms:
-                        key = (network, p, float(m), float(b), algo)
-                        hit = cache.get(key) if cache is not None else None
-                        if hit is not None:
-                            out.append(hit)
-                            continue
-                        r = run_instance(
-                            chain,
-                            platform,
-                            algo,
-                            network=network,
-                            grid=grid,
-                            iterations=iterations,
-                            ilp_time_limit=ilp_time_limit,
-                        )
-                        if cache is not None:
-                            cache.put(r)
-                        if verbose:
-                            print(
-                                f"{network} P={p} M={m} beta={b} {algo}: "
-                                f"dp={r.dp_period:.4f} valid={r.valid_period:.4f} "
-                                f"({r.runtime_s:.1f}s)"
-                            )
-                        out.append(r)
+    """Run a full scenario grid, replaying cached instances if available.
+
+    ``n_workers > 1`` dispatches uncached instances to a process pool;
+    results come back in the same deterministic (network, P, β, M,
+    algorithm) order as the serial loop, and new results are written to
+    ``cache`` as they complete so interrupted sweeps stay resumable.
+    """
+    specs: list[tuple] = [
+        (network, p, float(m), float(b), algo)
+        for network in networks
+        for p in procs
+        for b in bandwidths_gbps
+        for m in memories_gb
+        for algo in algorithms
+    ]
+    out: list[RunResult | None] = [None] * len(specs)
+    todo: list[int] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            out[i] = hit
+        else:
+            todo.append(i)
+
+    def record(i: int, r: RunResult) -> None:
+        out[i] = r
+        if cache is not None:
+            cache.put(r)
+        if verbose:
+            network, p, m, b, algo = specs[i]
+            print(
+                f"{network} P={p} M={m} beta={b} {algo}: "
+                f"dp={r.dp_period:.4f} valid={r.valid_period:.4f} "
+                f"({r.runtime_s:.1f}s)"
+            )
+
+    if n_workers > 1 and len(todo) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(
+                        _run_spec, specs[i], grid, iterations, ilp_time_limit
+                    ): i
+                    for i in todo
+                }
+                for fut in as_completed(futures):
+                    record(futures[fut], fut.result())
+            todo = []
+        except (OSError, RuntimeError) as exc:  # pool unavailable → serial
+            if verbose:
+                print(f"process pool failed ({exc}); falling back to serial")
+            todo = [i for i in todo if out[i] is None]
+    for i in todo:
+        record(i, _run_spec(specs[i], grid, iterations, ilp_time_limit))
+    if cache is not None:
+        cache.flush()
     return out
 
 
+def _to_jsonable(r: RunResult) -> dict:
+    d = asdict(r)
+    for k in ("dp_period", "valid_period"):
+        if d[k] == INF:
+            d[k] = None
+    return d
+
+
+def _from_jsonable(d: dict) -> RunResult:
+    for k in ("dp_period", "valid_period"):
+        if d[k] is None:
+            d[k] = INF
+    return RunResult(**d)
+
+
 def save_results(results: list[RunResult], path: str | Path) -> None:
-    """Persist results as JSON (``inf`` encoded as ``null``)."""
-    payload = []
-    for r in results:
-        d = asdict(r)
-        for k in ("dp_period", "valid_period"):
-            if d[k] == INF:
-                d[k] = None
-        payload.append(d)
+    """Persist results as a JSON array (``inf`` encoded as ``null``).
+
+    This is the legacy bulk format; :class:`ResultCache` writes JSONL.
+    """
+    payload = [_to_jsonable(r) for r in results]
     Path(path).write_text(json.dumps(payload, indent=1))
 
 
 def load_results(path: str | Path) -> list[RunResult]:
-    """Load results written by :func:`save_results`."""
-    payload = json.loads(Path(path).read_text())
-    out = []
-    for d in payload:
-        for k in ("dp_period", "valid_period"):
-            if d[k] is None:
-                d[k] = INF
-        out.append(RunResult(**d))
-    return out
+    """Load results written by :func:`save_results` *or* by the JSONL
+    :class:`ResultCache` — the format is sniffed from the first byte."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped[0] == "[":
+        payload = json.loads(text)
+    else:
+        payload = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return [_from_jsonable(d) for d in payload]
 
 
 class ResultCache:
-    """A tiny JSON-backed instance cache keyed by scenario tuple."""
+    """Append-only JSONL instance cache keyed by scenario tuple.
 
-    def __init__(self, path: str | Path):
+    Each :meth:`put` buffers one record; buffers are appended to the file
+    every ``flush_every`` inserts (and on :meth:`flush`/context exit), so
+    inserting N results costs O(N) I/O.  A cache file in the legacy
+    :func:`save_results` JSON-array format is read transparently and
+    rewritten as JSONL on the first flush.
+    """
+
+    def __init__(self, path: str | Path, *, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = Path(path)
+        self.flush_every = flush_every
         self._data: dict[tuple, RunResult] = {}
+        self._pending: list[RunResult] = []
+        self._legacy = False
         if self.path.exists():
+            text = self.path.read_text()
+            self._legacy = text.lstrip().startswith("[")
             for r in load_results(self.path):
                 self._data[r.key] = r
 
@@ -196,7 +284,31 @@ class ResultCache:
 
     def put(self, result: RunResult) -> None:
         self._data[result.key] = result
-        save_results(list(self._data.values()), self.path)
+        self._pending.append(result)
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered records out (rewriting legacy-format files once).
+
+        Pure reads never rewrite: a legacy file is only migrated to JSONL
+        when there is something new to persist.
+        """
+        if self._legacy and self._pending:
+            lines = [json.dumps(_to_jsonable(r)) for r in self._data.values()]
+            self.path.write_text("\n".join(lines) + "\n" if lines else "")
+            self._legacy = False
+        elif self._pending:
+            with self.path.open("a") as fh:
+                for r in self._pending:
+                    fh.write(json.dumps(_to_jsonable(r)) + "\n")
+        self._pending.clear()
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()
 
     def __len__(self) -> int:
         return len(self._data)

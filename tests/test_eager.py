@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algorithms import min_feasible_period
-from repro.core import Allocation, Partitioning, Platform
+from repro.core import Allocation, Partitioning
 from repro.sim import eager_1f1b
 
 MB = float(2**20)

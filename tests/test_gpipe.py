@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms import gpipe
 from repro.algorithms.gpipe import gpipe_period
 from repro.core import Partitioning, Platform
-from repro.models import uniform_chain
+
 
 MB = float(2**20)
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.algorithms import Discretization, group_sizes, hybrid, scale_chain_for_group
 from repro.core import Platform
-from repro.models import random_chain, uniform_chain
+from repro.models import uniform_chain
 
 MB = float(2**20)
 COARSE = Discretization.coarse()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.algorithms import Discretization, madpipe, pipedream
 from repro.core import Platform
-from repro.models import random_chain, uniform_chain
+from repro.models import random_chain
 from repro.sim import verify_pattern
 
 MB = float(2**20)

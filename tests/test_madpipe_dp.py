@@ -4,7 +4,7 @@ import pytest
 
 from repro.algorithms.madpipe_dp import Discretization, algorithm1, madpipe_dp
 from repro.core import Platform
-from repro.models import random_chain, uniform_chain
+from repro.models import random_chain
 
 MB = float(2**20)
 COARSE = Discretization.coarse()

@@ -10,7 +10,7 @@ from repro.algorithms.onef1b import (
     min_feasible_period,
 )
 from repro.core import Allocation, Partitioning, Platform
-from repro.models import random_chain, uniform_chain
+from repro.models import random_chain
 from repro.sim import verify_pattern
 
 MB = float(2**20)

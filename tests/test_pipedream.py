@@ -5,7 +5,7 @@ import pytest
 from repro.algorithms.pipedream import pipedream, pipedream_partition
 from repro.core import Platform
 from repro.core.memory import stage_memory
-from repro.models import random_chain, uniform_chain
+
 
 MB = float(2**20)
 

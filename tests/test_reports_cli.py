@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.algorithms import min_feasible_period
 from repro.cli import main
 from repro.core import Partitioning, load_pattern

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.algorithms import min_feasible_period
-from repro.core import Allocation, Partitioning, PatternError, Platform
-from repro.models import random_chain, uniform_chain
+from repro.core import Partitioning, PatternError, Platform
+
 from repro.sim import simulate, verify_pattern
 
 MB = float(2**20)
