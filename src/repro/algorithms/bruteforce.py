@@ -30,11 +30,19 @@ INF = float("inf")
 
 @dataclass
 class BruteForceResult:
-    """The certified optimum over an exhaustively enumerated space."""
+    """The certified optimum over an exhaustively enumerated space.
+
+    ``evaluated`` counts the *distinct* allocations examined (duplicate
+    ``procs`` layouts produced by different special-subset choices are
+    skipped); ``solver_calls`` counts the period searches actually run —
+    contiguous variants of one partitioning share a single memoized
+    1F1B\\* solve, so ``solver_calls ≤ evaluated``.
+    """
 
     period: float
     allocation: Allocation | None
     evaluated: int
+    solver_calls: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -60,6 +68,7 @@ def best_contiguous(
     best = BruteForceResult(INF, None, 0)
     for part in _partitionings(chain.L, platform.n_procs):
         best.evaluated += 1
+        best.solver_calls += 1
         res: OneF1BResult | None = min_feasible_period(
             chain, platform, part, build=False
         )
@@ -82,6 +91,12 @@ def best_special(
     For every partitioning into at most ``P − 1 + k`` stages and every
     choice of stages for the special processor (the rest one-per-GPU),
     run the period binary search.  Exponential — tiny chains only.
+
+    Two redundancies in the enumeration are skipped without changing the
+    optimum: different special subsets can produce the *same* ``procs``
+    layout (only the first is evaluated), and every contiguous variant of
+    one partitioning has the same 1F1B\\* optimal period (solved once and
+    memoized).  See :class:`BruteForceResult` for the counter semantics.
     """
     if chain.L > max_layers:
         raise ValueError(
@@ -92,6 +107,8 @@ def best_special(
     best = BruteForceResult(INF, None, 0)
     for part in _partitionings(chain.L, 2 * P):
         n = part.n_stages
+        seen: set[tuple[int, ...]] = set()
+        contig_period: float | None = None
         for n_special in range(0, n + 1):
             if n - n_special > (P - 1 if n_special else P):
                 continue
@@ -103,14 +120,22 @@ def best_special(
                     else:
                         procs.append(normal)
                         normal += 1
-                alloc = Allocation(part, tuple(procs))
+                procs_t = tuple(procs)
+                if procs_t in seen:
+                    continue
+                seen.add(procs_t)
+                alloc = Allocation(part, procs_t)
                 best.evaluated += 1
                 if alloc.is_contiguous():
-                    res = min_feasible_period(
-                        chain, platform, part, build=False
-                    )
-                    period = res.period if res is not None else INF
+                    if contig_period is None:
+                        best.solver_calls += 1
+                        res = min_feasible_period(
+                            chain, platform, part, build=False
+                        )
+                        contig_period = res.period if res is not None else INF
+                    period = contig_period
                 else:
+                    best.solver_calls += 1
                     ilp = schedule_allocation(
                         chain, platform, alloc, time_limit=ilp_time_limit
                     )

@@ -28,7 +28,7 @@ from ..core.chain import Chain
 from ..core.partition import Allocation
 from ..core.pattern import PeriodicPattern
 from ..core.platform import Platform
-from ..ilp.solver import schedule_allocation
+from ..ilp.solver import ILPScheduleResult, schedule_allocation
 from .madpipe_dp import Algorithm1Result, Discretization, algorithm1
 from .onef1b import min_feasible_period
 
@@ -43,6 +43,8 @@ class MadPipeResult:
 
     ``dp_period`` is phase 1's estimate (the dashed line of Fig. 6);
     ``period`` is the certified valid-schedule period (the solid line).
+    ``ilp`` carries the phase-2 period search (probe trace and timings)
+    whenever the phase-1 allocation went through the scheduling MILP.
     """
 
     phase1: Algorithm1Result
@@ -50,6 +52,7 @@ class MadPipeResult:
     pattern: PeriodicPattern | None
     period: float = INF
     notes: list[str] = field(default_factory=list)
+    ilp: ILPScheduleResult | None = None
 
     @property
     def dp_period(self) -> float:
@@ -92,6 +95,7 @@ def madpipe(
             ilp = schedule_allocation(
                 chain, platform, allocation, time_limit=ilp_time_limit
             )
+            result.ilp = ilp
             if ilp.feasible:
                 result.allocation = allocation
                 result.pattern = ilp.pattern

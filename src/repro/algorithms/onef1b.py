@@ -16,26 +16,52 @@ valid periodic patterns (Proposition 1):
 A stage in group ``g`` stores exactly ``g`` activation copies, so the
 minimal feasible period of a partitioning is the smallest ``T`` (at least
 the bottleneck load) whose induced groups fit in memory everywhere.
+
+The minimal-period search is the inner loop of every contiguous planner
+(``pipedream``, ``best_contiguous``, MadPipe's contiguous fallback), so it
+is implemented as a NumPy kernel: candidate periods come from prefix-sum
+range sums, group assignment runs batched across *all* candidates at once,
+and per-processor memory is evaluated vectorized from the chain's cached
+prefix arrays.  The original pure-Python implementation is preserved in
+:mod:`repro.algorithms.onef1b_reference` and golden tests pin the kernel
+to it bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.chain import Chain
-from ..core.memory import stage_memory
 from ..core.partition import Allocation, Partitioning
 from ..core.pattern import Op, PeriodicPattern, gpu, link
 from ..core.platform import Platform
 
 __all__ = [
+    "GROUP_FIT_RTOL",
+    "CANDIDATE_ATOL",
+    "MEMORY_FIT_RTOL",
     "Item",
     "extended_items",
     "assign_groups",
+    "assign_groups_kernel",
     "build_pattern",
     "min_feasible_period",
     "OneF1BResult",
 ]
+
+# Feasibility tolerances, shared by the NumPy kernel and the reference
+# implementation (onef1b_reference) so both make bit-identical decisions.
+#: Relative slack when packing items into a group: a group fits in ``T``
+#: when its load is ≤ ``T·(1 + GROUP_FIT_RTOL)``.
+GROUP_FIT_RTOL = 1e-12
+#: Absolute slack when generating candidate periods: a range sum counts as
+#: a candidate when it is ≥ ``lower − CANDIDATE_ATOL``.
+CANDIDATE_ATOL = 1e-15
+#: Relative slack of the per-GPU memory check: a schedule fits when every
+#: processor uses ≤ ``capacity·(1 + MEMORY_FIT_RTOL)`` bytes.
+MEMORY_FIT_RTOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -69,6 +95,43 @@ def extended_items(
     return items
 
 
+def assign_groups_kernel(loads: np.ndarray, periods: np.ndarray) -> np.ndarray:
+    """Batched greedy grouping: group index per item for *every* period.
+
+    ``loads`` has shape ``(n,)``; ``periods`` shape ``(m,)``.  Returns an
+    ``(m, n)`` int array where row ``c`` equals the reference
+    ``assign_groups(items, periods[c])``.  The scan walks the items once,
+    back to front, carrying the per-period accumulator and group counter as
+    vectors — each period's accumulation performs the exact float additions
+    of the scalar loop, so rows are bit-identical to the reference.
+
+    Raises ``ValueError`` when any single load exceeds the smallest
+    period's threshold (the reference raises on that period too).
+    """
+    loads = np.asarray(loads, dtype=float)
+    periods = np.atleast_1d(np.asarray(periods, dtype=float))
+    n, m = loads.size, periods.size
+    out = np.empty((m, n), dtype=np.int64)
+    if n == 0:
+        return out
+    thresh = periods * (1 + GROUP_FIT_RTOL)
+    if loads.max() > thresh.min():
+        raise ValueError(
+            f"item load {loads.max():.4g} exceeds period {periods.min():.4g}"
+        )
+    g = np.ones(m, dtype=np.int64)
+    acc = np.zeros(m)
+    for i in range(n - 1, -1, -1):
+        # grown = acc + load is both the overflow test and (when it fits)
+        # the new accumulator — exactly the scalar loop's additions
+        grown = acc + loads[i]
+        over = grown > thresh
+        g += over
+        acc = np.where(over, loads[i], grown)
+        out[:, i] = g
+    return out
+
+
 def assign_groups(items: list[Item], period: float) -> list[int]:
     """Group index (1 = last group, as in the paper) per item.
 
@@ -76,22 +139,20 @@ def assign_groups(items: list[Item], period: float) -> list[int]:
     while its total load stays ≤ ``period``.  Any single item with load
     > ``period`` makes the period infeasible (ValueError).
     """
-    groups = [0] * len(items)
-    g = 1
-    acc = 0.0
-    for i in range(len(items) - 1, -1, -1):
-        load = items[i].load
-        if load > period * (1 + 1e-12):
-            raise ValueError(
-                f"item {items[i].kind}{items[i].index} load {load:.4g} "
-                f"exceeds period {period:.4g}"
-            )
-        if acc + load > period * (1 + 1e-12):
-            g += 1
-            acc = 0.0
-        acc += load
-        groups[i] = g
-    return groups
+    if not items:
+        return []
+    loads = np.fromiter((it.load for it in items), dtype=float, count=len(items))
+    thresh = period * (1 + GROUP_FIT_RTOL)
+    if loads.max() > thresh:
+        # the backward scan of the reference hits the highest-index
+        # oversized item first — report that one
+        i = int(np.nonzero(loads > thresh)[0].max())
+        raise ValueError(
+            f"item {items[i].kind}{items[i].index} load {loads[i]:.4g} "
+            f"exceeds period {period:.4g}"
+        )
+    row = assign_groups_kernel(loads, np.array([period]))[0]
+    return [int(g) for g in row]
 
 
 def build_pattern(
@@ -149,29 +210,36 @@ def _resource(item: Item, procs: tuple[int, ...]) -> tuple:
     return link(procs[item.index], procs[item.index + 1])
 
 
+# small per-size caches for the hot enumeration loops (best_contiguous
+# calls min_feasible_period thousands of times on tiny item counts)
+_TRI_CACHE: dict[int, np.ndarray] = {}
+_ARANGE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _upper_triangle(n: int) -> np.ndarray:
+    tri = _TRI_CACHE.get(n)
+    if tri is None:
+        tri = np.arange(n) >= np.arange(n)[:, None]
+        _TRI_CACHE[n] = tri
+    return tri
+
+
+def _arange(n: int) -> np.ndarray:
+    r = _ARANGE_CACHE.get(n)
+    if r is None:
+        r = np.arange(n)
+        _ARANGE_CACHE[n] = r
+    return r
+
+
 @dataclass
 class OneF1BResult:
     """Outcome of the minimal-feasible-period search."""
 
     period: float
-    pattern: PeriodicPattern
+    pattern: PeriodicPattern | None
     groups: dict[int, int]  # stage index -> group number
     memory: dict[int, float]  # processor -> bytes used (analytic, §4.2.1)
-
-
-def _stage_memories(
-    chain: Chain, allocation: Allocation, items: list[Item], groups: list[int]
-) -> dict[int, float]:
-    """Per-processor memory of the 1F1B\\* schedule: stage in group ``g``
-    keeps ``g`` activation copies (paper §4.1)."""
-    memory: dict[int, float] = {}
-    for item, g in zip(items, groups):
-        if item.kind != "stage":
-            continue
-        s = allocation.stages[item.index]
-        p = allocation.procs[item.index]
-        memory[p] = memory.get(p, 0.0) + stage_memory(chain, s.start, s.end, g)
-    return memory
 
 
 def min_feasible_period(
@@ -189,35 +257,132 @@ def min_feasible_period(
     the bottleneck lower bound.  Increasing T can only merge groups, so
     memory usage is non-increasing in T and the scan stops at the first
     feasible candidate.
+
+    Vectorized: stage loads and memory terms come from the chain's cached
+    prefix arrays (O(1) per stage), candidates from one masked 2-D
+    ``cumsum``, group assignment from the batched kernel across all
+    candidates, and memory feasibility from one array comparison — all
+    with float arithmetic identical to
+    :func:`repro.algorithms.onef1b_reference.min_feasible_period_reference`.
+
+    Two early exits bracket the batched scan, both justified by memory
+    monotonicity (greedy domination: raising ``T`` can only merge groups,
+    so every stage's group count — hence every GPU's memory — is
+    non-increasing in ``T``): if the smallest candidate fits, it is the
+    answer; if the largest does not, none does.
     """
-    allocation = Allocation.contiguous(partitioning)
     if partitioning.n_stages > platform.n_procs:
         raise ValueError("more stages than processors")
-    items = extended_items(chain, platform, allocation)
-    loads = [it.load for it in items]
-    lower = max(loads)
+    n_stages = partitioning.n_stages
+    ends = np.fromiter(
+        (s.end for s in partitioning.stages), dtype=np.int64, count=n_stages
+    )
+    starts = np.empty(n_stages, dtype=np.int64)
+    starts[0] = 1
+    starts[1:] = ends[:-1] + 1
 
-    candidates = {lower}
-    n = len(items)
-    for a in range(n):
-        acc = 0.0
-        for b in range(a, n):
-            acc += loads[b]
-            if acc >= lower - 1e-15:
-                candidates.add(acc)
-    for T in sorted(candidates):
-        groups = assign_groups(items, T)
-        memory = _stage_memories(chain, allocation, items, groups)
-        if all(m <= platform.memory * (1 + 1e-9) for m in memory.values()):
-            pattern = (
-                build_pattern(chain, platform, allocation, T) if build else None
-            )
-            stage_groups = {
-                it.index: g
-                for it, g in zip(items, groups)
-                if it.kind == "stage"
-            }
-            return OneF1BResult(
-                period=T, pattern=pattern, groups=stage_groups, memory=memory
-            )
-    return None
+    # item loads, interleaved [stage 0, comm 0, stage 1, …, stage S−1]:
+    # a contiguous allocation has a comm boundary after every stage but the
+    # last, matching extended_items order
+    u_f = chain.u_f_ranges(starts, ends)
+    u_b = chain.u_b_ranges(starts, ends)
+    half = chain.activation_values(ends[:-1]) / platform.bandwidth
+    n_items = 2 * n_stages - 1
+    loads = np.empty(n_items)
+    loads[0::2] = u_f + u_b
+    loads[1::2] = half + half
+    lower = float(loads.max())
+
+    # candidate periods: contiguous range sums ≥ lower (± atol), plus
+    # lower.  Row a of the masked cumsum accumulates loads[a:] with the
+    # same left-to-right additions as a scalar loop (the leading zeros are
+    # exact), so sums match the reference float-for-float.  Duplicates are
+    # kept (sort only): rescanning an equal period cannot change the first
+    # feasible value.
+    tri = _upper_triangle(n_items)
+    sums = np.cumsum(np.where(tri, loads, 0.0), axis=1)
+    keep = tri & (sums >= lower - CANDIDATE_ATOL)
+    periods = np.sort(np.concatenate(([lower], sums[keep])))
+
+    # The smallest candidate can sit CANDIDATE_ATOL below the bottleneck
+    # load; the reference then raises out of assign_groups while scanning
+    # it — replicate that exactly (larger candidates can never raise).
+    thresh0 = periods[0] * (1 + GROUP_FIT_RTOL)
+    if loads.max() > thresh0:
+        i = int(np.nonzero(loads > thresh0)[0].max())
+        kind = "stage" if i % 2 == 0 else "comm"
+        raise ValueError(
+            f"item {kind}{i // 2} load {loads[i]:.4g} "
+            f"exceeds period {float(periods[0]):.4g}"
+        )
+
+    # memory terms of MemoryBreakdown, as arrays over stages; the total is
+    # evaluated in the breakdown's float order: (weights + activations) + buffers
+    w3 = 3.0 * chain.weight_ranges(starts, ends)
+    abar = chain.stored_activation_ranges(starts, ends)
+    buf = np.where(starts > 1, 2.0 * chain.activation_values(starts - 1), 0.0)
+    buf = buf + np.where(ends < chain.L, 2.0 * chain.activation_values(ends), 0.0)
+    cap = platform.memory * (1 + MEMORY_FIT_RTOL)
+
+    # scalar single-candidate probe (same IEEE-double ops as the kernel)
+    loads_l, w3_l, abar_l, buf_l = (
+        loads.tolist(), w3.tolist(), abar.tolist(), buf.tolist()
+    )
+
+    def probe(T: float) -> tuple[bool, list[int]]:
+        thresh = T * (1 + GROUP_FIT_RTOL)
+        g, acc = 1, 0.0
+        gs = [0] * n_stages
+        for i in range(n_items - 1, -1, -1):
+            grown = acc + loads_l[i]
+            if grown > thresh:
+                g += 1
+                acc = loads_l[i]
+            else:
+                acc = grown
+            if i % 2 == 0:
+                gs[i // 2] = g
+        ok = all(
+            (w3_l[i] + gs[i] * abar_l[i]) + buf_l[i] <= cap
+            for i in range(n_stages)
+        )
+        return ok, gs
+
+    m = periods.size
+    ok, gs = probe(float(periods[0]))
+    if ok:
+        k, stage_groups = 0, gs
+    elif m == 1:
+        return None
+    else:
+        ok, gs = probe(float(periods[-1]))
+        if not ok:
+            return None  # memory is monotone in T: nothing larger helps
+        k, stage_groups = m - 1, gs
+        if m > 2:
+            # the boundary lies strictly inside: batch the interior scan
+            rows = assign_groups_kernel(loads, periods[1:-1])[:, 0::2]
+            mem = (w3 + rows * abar) + buf  # (m−2, n_stages)
+            hits = np.nonzero((mem <= cap).all(axis=1))[0]
+            if hits.size:
+                j = int(hits[0])
+                k, stage_groups = 1 + j, [int(g) for g in rows[j]]
+
+    T = float(periods[k])
+    # Allocation.contiguous puts stage i on processor i, so per-stage
+    # memory is per-processor memory (bincount is the general aggregation,
+    # an identity here)
+    gs_arr = np.asarray(stage_groups, dtype=np.int64)
+    procs = _arange(n_stages)
+    by_proc = np.bincount(procs, weights=(w3 + gs_arr * abar) + buf, minlength=n_stages)
+    pattern = (
+        build_pattern(chain, platform, Allocation.contiguous(partitioning), T)
+        if build
+        else None
+    )
+    return OneF1BResult(
+        period=T,
+        pattern=pattern,
+        groups={i: int(g) for i, g in enumerate(stage_groups)},
+        memory={int(p): float(by_proc[p]) for p in procs},
+    )

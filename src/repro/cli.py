@@ -55,6 +55,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         res = pipedream(chain, platform)
         pattern = res.schedule.pattern if res.feasible else None
         phase1 = None
+        ilp = None
     else:
         mp = madpipe(
             chain,
@@ -64,6 +65,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         )
         pattern = mp.pattern
         phase1 = mp.phase1
+        ilp = mp.ilp
     if args.stats:
         if phase1 is None:
             print("solver stats: n/a (pipedream has no DP phase)")
@@ -74,6 +76,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 f"pruned {phase1.pruned_cap} candidates by period cap, "
                 f"{phase1.pruned_mem} by memory"
             )
+            if ilp is not None:
+                t = ilp.timings
+                print(
+                    f"phase-2 ILP: {t['milp_probes']} MILP probes, "
+                    f"{t['lp_jumps']} LP jumps, build {t['build_s']:.3f}s, "
+                    f"solve {t['solve_s']:.3f}s"
+                )
     if pattern is None:
         print("no memory-feasible schedule found")
         return 1
@@ -118,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stats",
         action="store_true",
-        help="print DP diagnostics (states, wall time, pruning counters)",
+        help="print solver diagnostics (DP states/pruning, ILP probe timings)",
     )
     p.add_argument("--gantt", action="store_true")
     p.add_argument("--width", type=int, default=100)

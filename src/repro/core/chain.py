@@ -169,6 +169,35 @@ class Chain:
         self._check_layer(l)
         return float(self._cum_a_in[l] - self._cum_a_in[k - 1])
 
+    # -- vectorized range queries (NumPy fast paths) ------------------------
+    #
+    # These serve whole arrays of (start, end) ranges in one shot from the
+    # cached prefix sums, with the *same* float arithmetic as the scalar
+    # accessors (``cum[l] - cum[k-1]`` per range), so kernels built on them
+    # are bit-identical to loops over ``U_f``/``U_b``/``weights``/…
+
+    def u_f_ranges(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`U_f`: forward cost of layers ``starts[i]..ends[i]``."""
+        return self._cum_uf[ends] - self._cum_uf[starts - 1]
+
+    def u_b_ranges(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`U_b`: backward cost of layers ``starts[i]..ends[i]``."""
+        return self._cum_ub[ends] - self._cum_ub[starts - 1]
+
+    def weight_ranges(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`weights` (single copy) over layer ranges."""
+        return self._cum_w[ends] - self._cum_w[starts - 1]
+
+    def stored_activation_ranges(
+        self, starts: np.ndarray, ends: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`stored_activations` (``ā``) over layer ranges."""
+        return self._cum_a_in[ends] - self._cum_a_in[starts - 1]
+
+    def activation_values(self, ls: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`activation`: ``a^{(l)}`` for each ``l`` in ``0..L``."""
+        return self._act[ls]
+
     def comm_time(self, l: int, bandwidth: float) -> float:
         """``C(l) = 2·a_l / β`` — the total link time of the boundary after
         layer ``l`` (activation forward + gradient backward), for ``l`` in

@@ -1,12 +1,22 @@
 """Phase-2 scheduling ILP (periodic pattern MILP on HiGHS)."""
 
-from .formulation import ScheduleMILP, build_milp
-from .solver import ILPScheduleResult, schedule_allocation, solve_fixed_period
+from .formulation import MilpSkeleton, ScheduleMILP, build_milp, build_skeleton
+from .solver import (
+    ILPScheduleResult,
+    ProbeRecord,
+    schedule_allocation,
+    solve_fixed_period,
+)
+from .solver_reference import schedule_allocation_reference
 
 __all__ = [
+    "MilpSkeleton",
     "ScheduleMILP",
     "build_milp",
+    "build_skeleton",
     "ILPScheduleResult",
+    "ProbeRecord",
     "schedule_allocation",
+    "schedule_allocation_reference",
     "solve_fixed_period",
 ]

@@ -20,8 +20,19 @@ For a fixed period ``T`` the pattern semantics of §3 become linear:
   the GPU's resource disjunctions.
 
 The objective minimizes the total number of in-flight batches
-``Σ_s (h_{B_s} − h_{F_s})``, which steers the solver toward low-memory
+``Σ_s (h_B_s − h_F_s)``, which steers the solver toward low-memory
 patterns among the feasible ones.
+
+Because ``schedule_allocation`` probes many periods for one allocation,
+the model is split in two: :func:`build_skeleton` assembles everything
+that does not depend on ``T`` (operations, dependency edges, the dense
+constraint matrix with its T-independent coefficients, memory rows,
+variable classes) once per allocation, and
+:meth:`MilpSkeleton.instantiate` fills in the few T-scaled coefficients
+(``±T`` on shift and disjunction variables, ``d_a − T`` disjunction
+bounds, ``T − d_o`` start-time bounds) in O(nnz) per probe.
+:func:`build_milp` is the composition of the two and produces the same
+matrices float-for-float as building from scratch.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ from ..core.partition import Allocation
 from ..core.pattern import gpu, link
 from ..core.platform import Platform
 
-__all__ = ["ScheduleMILP", "build_milp"]
+__all__ = ["ScheduleMILP", "MilpSkeleton", "build_skeleton", "build_milp"]
 
 OpKey = tuple[str, int]
 
@@ -105,18 +116,90 @@ def _dependencies(allocation: Allocation, res: dict[OpKey, tuple]) -> list[tuple
     return edges
 
 
-def build_milp(
+@dataclass
+class MilpSkeleton:
+    """Period-independent structure of the scheduling MILP for one
+    allocation, plus the recipe to reparametrize it at any period.
+
+    ``a_const`` holds every T-independent coefficient; the T-scaled
+    entries live at ``(t_rows, t_cols)`` with per-entry factors
+    ``t_scale`` (each such slot is zero in ``a_const`` and appears only
+    once, so plain fancy-index assignment reconstructs the full matrix).
+    Row lower bounds decompose as ``lb_const + lb_scale·T``; row upper
+    bounds are T-independent.
+    """
+
+    ops: list[OpKey]
+    durations: dict[OpKey, float]
+    resources: dict[OpKey, tuple]
+    t_index: dict[OpKey, int]
+    h_index: dict[OpKey, int]
+    y_index: dict[tuple[OpKey, OpKey], int]
+    dep_edges: list[tuple[OpKey, OpKey]]
+    max_shift: int
+    a_const: np.ndarray  # (n_rows, n_vars)
+    t_rows: np.ndarray
+    t_cols: np.ndarray
+    t_scale: np.ndarray
+    lb_const: np.ndarray
+    lb_scale: np.ndarray
+    row_ub: np.ndarray
+    var_ub: np.ndarray  # h/y/anchor bounds; t slots overwritten per period
+    dur_arr: np.ndarray  # durations in t-variable order
+    integrality: np.ndarray
+    c: np.ndarray
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.c)
+
+    def instantiate(self, period: float) -> ScheduleMILP:
+        """The full MILP at ``period`` — identical float-for-float to a
+        from-scratch build."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        T = period
+        A = self.a_const.copy()
+        A[self.t_rows, self.t_cols] = self.t_scale * T
+        lb_rows = self.lb_const + self.lb_scale * T
+        constraints = [LinearConstraint(A, lb_rows, self.row_ub.copy())]
+
+        ub = self.var_ub.copy()
+        ub[: self.n_ops] = np.maximum(T - self.dur_arr, 0.0)
+        # re-anchor: F of stage 0 has shift 0 (the paper's convention)
+        ub[self.h_index[("F", 0)]] = 0.0
+
+        return ScheduleMILP(
+            period=T,
+            ops=self.ops,
+            durations=self.durations,
+            resources=self.resources,
+            t_index=self.t_index,
+            h_index=self.h_index,
+            y_index=self.y_index,
+            c=self.c,
+            constraints=constraints,
+            integrality=self.integrality,
+            bounds=Bounds(np.zeros(self.n_vars), ub),
+        )
+
+
+def build_skeleton(
     chain: Chain,
     platform: Platform,
     allocation: Allocation,
-    period: float,
     *,
     max_shift: int | None = None,
-) -> ScheduleMILP:
-    """Assemble the MILP for scheduling ``allocation`` with period ``T``."""
-    if period <= 0:
-        raise ValueError("period must be positive")
-    T = period
+) -> MilpSkeleton:
+    """Assemble the period-independent part of the MILP for ``allocation``.
+
+    Raises ``ValueError`` when static memory (weights + buffers) alone
+    exceeds some GPU's capacity — no period can fix that.
+    """
     ops, dur, res = _operations(chain, platform, allocation)
     n_ops = len(ops)
     if max_shift is None:
@@ -140,26 +223,39 @@ def build_milp(
     rows: list[dict[int, float]] = []
     lbs: list[float] = []
     ubs: list[float] = []
+    lb_scales: list[float] = []
+    t_entries: list[tuple[int, int, float]] = []  # (row, col, scale): adds scale·T
 
-    def add_row(coeffs: dict[int, float], lb: float, ub: float = np.inf) -> None:
+    def add_row(
+        coeffs: dict[int, float],
+        lb: float,
+        ub: float = np.inf,
+        *,
+        lb_scale: float = 0.0,
+    ) -> None:
         rows.append(coeffs)
         lbs.append(lb)
         ubs.append(ub)
+        lb_scales.append(lb_scale)
 
     # dependencies: T*(h_v - h_u) + t_v - t_u >= d_u
-    for u, v in _dependencies(allocation, res):
-        coeffs = {h_index[v]: T, h_index[u]: -T}
+    dep_edges = _dependencies(allocation, res)
+    for u, v in dep_edges:
+        r = len(rows)
+        t_entries.append((r, h_index[v], 1.0))
+        t_entries.append((r, h_index[u], -1.0))
         # u == v is impossible; t coefficients may collide only if u == v
-        coeffs[t_index[v]] = coeffs.get(t_index[v], 0.0) + 1.0
-        coeffs[t_index[u]] = coeffs.get(t_index[u], 0.0) - 1.0
-        add_row(coeffs, dur[u])
+        add_row({t_index[v]: 1.0, t_index[u]: -1.0}, dur[u])
 
     # resource disjunctions:
     #   a before b (y=1): t_b - t_a - T*y >= d_a - T
     #   b before a (y=0): t_a - t_b + T*y >= d_b
     for (a, b), yi in y_index.items():
-        add_row({t_index[b]: 1.0, t_index[a]: -1.0, yi: -T}, dur[a] - T)
-        add_row({t_index[a]: 1.0, t_index[b]: -1.0, yi: T}, dur[b])
+        r = len(rows)
+        t_entries.append((r, yi, -1.0))
+        add_row({t_index[b]: 1.0, t_index[a]: -1.0}, dur[a], lb_scale=-1.0)
+        t_entries.append((r + 1, yi, 1.0))
+        add_row({t_index[a]: 1.0, t_index[b]: -1.0}, dur[b])
 
     # memory: for each GPU p and each stage s on p, just after F_s starts
     def order_var(before: OpKey, after: OpKey) -> tuple[int, float, float]:
@@ -170,7 +266,7 @@ def build_milp(
         return y_index[(after, before)], -1.0, 1.0
 
     M = platform.memory
-    for p in allocation.procs_used():
+    for p in sorted(allocation.procs_used()):
         stage_idxs = allocation.stages_on_proc(p)
         static = 0.0
         for i in stage_idxs:
@@ -202,22 +298,21 @@ def build_milp(
                     f"static memory {const:.3g} exceeds capacity on GPU {p}"
                 )
 
-    # assemble
-    A = np.zeros((len(rows), n_vars))
+    # assemble the T-independent matrix; T-scaled slots stay zero here
+    a_const = np.zeros((len(rows), n_vars))
     for r, coeffs in enumerate(rows):
         for idx, val in coeffs.items():
-            A[r, idx] = val
-    constraints = [LinearConstraint(A, np.array(lbs), np.array(ubs))]
+            a_const[r, idx] = val
+    t_rows = np.array([e[0] for e in t_entries], dtype=np.intp)
+    t_cols = np.array([e[1] for e in t_entries], dtype=np.intp)
+    t_scale = np.array([e[2] for e in t_entries])
 
-    lb = np.zeros(n_vars)
-    ub = np.empty(n_vars)
+    var_ub = np.empty(n_vars)
+    dur_arr = np.array([dur[o] for o in ops])
     for o in ops:
-        ub[t_index[o]] = max(T - dur[o], 0.0)
-        ub[h_index[o]] = max_shift
+        var_ub[h_index[o]] = max_shift
     for yi in y_index.values():
-        ub[yi] = 1.0
-    # anchor: F of stage 0 has shift 0 (the paper's convention)
-    ub[h_index[("F", 0)]] = 0.0
+        var_ub[yi] = 1.0
 
     integrality = np.zeros(n_vars)
     for o in ops:
@@ -230,16 +325,45 @@ def build_milp(
         c[h_index[("B", i)]] += 1.0
         c[h_index[("F", i)]] -= 1.0
 
-    return ScheduleMILP(
-        period=T,
+    return MilpSkeleton(
         ops=ops,
         durations=dur,
         resources=res,
         t_index=t_index,
         h_index=h_index,
         y_index=y_index,
-        c=c,
-        constraints=constraints,
+        dep_edges=dep_edges,
+        max_shift=max_shift,
+        a_const=a_const,
+        t_rows=t_rows,
+        t_cols=t_cols,
+        t_scale=t_scale,
+        lb_const=np.array(lbs),
+        lb_scale=np.array(lb_scales),
+        row_ub=np.array(ubs),
+        var_ub=var_ub,
+        dur_arr=dur_arr,
         integrality=integrality,
-        bounds=Bounds(lb, ub),
+        c=c,
     )
+
+
+def build_milp(
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    period: float,
+    *,
+    max_shift: int | None = None,
+    skeleton: MilpSkeleton | None = None,
+) -> ScheduleMILP:
+    """Assemble the MILP for scheduling ``allocation`` with period ``T``.
+
+    Pass a cached ``skeleton`` (from :func:`build_skeleton`) to skip the
+    period-independent work; the result is identical either way.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if skeleton is None:
+        skeleton = build_skeleton(chain, platform, allocation, max_shift=max_shift)
+    return skeleton.instantiate(period)

@@ -1,27 +1,71 @@
 """Solve the scheduling MILP and search the smallest feasible period (§4.3).
 
-``schedule_allocation`` runs a binary search on the period ``T``: each
-probe solves the fixed-``T`` feasibility MILP of
-:mod:`repro.ilp.formulation` with HiGHS (``scipy.optimize.milp``).  The
-lower bound is the allocation's bottleneck load; the upper bound is the
-fully sequential period (one batch in flight), which is feasible whenever
-the allocation fits in memory at all.
+``schedule_allocation`` searches the smallest ``T`` whose fixed-``T``
+feasibility MILP (:mod:`repro.ilp.formulation`, solved with HiGHS via
+``scipy.optimize.milp``) admits a valid pattern.  Feasibility is monotone
+in ``T`` — any pattern valid at ``T`` stays valid at ``T' > T`` (shift
+inequalities only relax, disjunction rows are T-free once the binaries
+are fixed, memory rows do not involve ``T``) — which the search exploits:
+
+* probe outcomes are memoized and every probe lands on the period
+  skeleton cached per allocation (:func:`repro.ilp.build_skeleton`), so
+  nothing is rebuilt from scratch; probes above the lower bound run
+  with a zero objective (feasibility only), letting HiGHS stop at its
+  first incumbent;
+* the bracket starts from the bottleneck lower bound and *gallops*
+  upward (with the 1F1B\\* period of the allocation's contiguous
+  restriction as an extra probe point when it exists) instead of jumping
+  straight to the fully-sequential upper bound;
+* after every feasible probe, the combinatorial part of the solution
+  (shifts ``h``, disjunctions ``y``) is frozen and a small LP
+  re-optimizes ``(t, T)`` jointly — the certified minimum period of that
+  configuration, which typically collapses the bracket in one step;
+* the remaining gap is certified with asymmetric probes just below the
+  incumbent (falling back to bisection when they keep succeeding).
+
+Every probe and LP jump is recorded as a :class:`ProbeRecord` with
+build/solve timings; ``repro schedule --stats`` surfaces the totals.
+The pre-skeleton bisection search is preserved verbatim in
+:mod:`repro.ilp.solver_reference` for benchmarking.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.optimize import milp
+from scipy.optimize import linprog, milp
 
 from ..core.chain import Chain
 from ..core.partition import Allocation
 from ..core.pattern import Op, PeriodicPattern
 from ..core.platform import Platform
-from .formulation import ScheduleMILP, build_milp
+from .formulation import MilpSkeleton, ScheduleMILP, build_milp, build_skeleton
 
-__all__ = ["ILPScheduleResult", "solve_fixed_period", "schedule_allocation"]
+__all__ = [
+    "ProbeRecord",
+    "ILPScheduleResult",
+    "solve_fixed_period",
+    "schedule_allocation",
+]
+
+INF = float("inf")
+
+#: Geometric step of the upper-bound gallop; the exponent doubles each
+#: step so globally-infeasible instances reach the sequential cap fast.
+GALLOP_FACTOR = 1.25
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One step of the period search: a MILP probe or an LP re-optimization."""
+
+    period: float
+    feasible: bool
+    build_s: float
+    solve_s: float
+    kind: str = "milp"  # "milp" feasibility probe | "lp" fixed-config jump
 
 
 @dataclass
@@ -30,11 +74,28 @@ class ILPScheduleResult:
 
     period: float
     pattern: PeriodicPattern | None
-    probes: list[tuple[float, bool]]  # (T, feasible) binary-search trace
+    trace: list[ProbeRecord] = field(default_factory=list)
+
+    @property
+    def probes(self) -> list[tuple[float, bool]]:
+        """(T, feasible) pairs of the MILP probes, in search order."""
+        return [(p.period, p.feasible) for p in self.trace if p.kind == "milp"]
 
     @property
     def feasible(self) -> bool:
         return self.pattern is not None
+
+    @property
+    def timings(self) -> dict[str, float | int]:
+        """Aggregate diagnostics: probe counts and build/solve seconds."""
+        milp_probes = [p for p in self.trace if p.kind == "milp"]
+        jumps = [p for p in self.trace if p.kind == "lp"]
+        return {
+            "milp_probes": len(milp_probes),
+            "lp_jumps": len(jumps),
+            "build_s": sum(p.build_s for p in self.trace),
+            "solve_s": sum(p.solve_s for p in self.trace),
+        }
 
 
 def _extract_pattern(
@@ -57,6 +118,44 @@ def _extract_pattern(
     return pattern
 
 
+def _solve_model(
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    model: ScheduleMILP,
+    time_limit: float,
+    *,
+    feasibility_only: bool = True,
+) -> tuple[PeriodicPattern | None, np.ndarray | None]:
+    """Solve one fixed-period model; validated pattern + raw solution.
+
+    Most probes are pure feasibility questions, so the model's
+    min-in-flight objective is dropped (zero costs): HiGHS can stop at
+    the first incumbent instead of proving optimality of a quantity the
+    search never uses.  Pattern quality is recovered by the LP jump,
+    which minimizes the period of the returned configuration.  The
+    lower-bound probe keeps the objective (``feasibility_only=False``):
+    on slack instances it is the whole search, and the objective steers
+    HiGHS to a first incumbent ~3× faster there.
+    """
+    res = milp(
+        np.zeros_like(model.c) if feasibility_only else model.c,
+        constraints=model.constraints,
+        integrality=model.integrality,
+        bounds=model.bounds,
+        options={"time_limit": time_limit, "presolve": True},
+    )
+    if not res.success or res.x is None:
+        return None, None
+    pattern = _extract_pattern(model, res.x, allocation)
+    try:
+        pattern.validate(chain, platform)
+        pattern.check_memory(chain, platform, tol=1e-6)
+    except Exception:
+        return None, None  # numerical artifacts: treat as infeasible probe
+    return pattern, res.x
+
+
 def solve_fixed_period(
     chain: Chain,
     platform: Platform,
@@ -64,31 +163,19 @@ def solve_fixed_period(
     period: float,
     *,
     time_limit: float = 60.0,
+    skeleton: MilpSkeleton | None = None,
 ) -> PeriodicPattern | None:
     """Feasibility MILP at a fixed period; returns a pattern or ``None``.
 
     A time-limit hit without an incumbent is reported as infeasible
-    (conservative, as in the paper's one-minute ILP budget).
+    (conservative, as in the paper's one-minute ILP budget).  Pass a
+    cached ``skeleton`` to skip the period-independent model build.
     """
     try:
-        model = build_milp(chain, platform, allocation, period)
+        model = build_milp(chain, platform, allocation, period, skeleton=skeleton)
     except ValueError:
         return None  # static memory alone exceeds capacity
-    res = milp(
-        model.c,
-        constraints=model.constraints,
-        integrality=model.integrality,
-        bounds=model.bounds,
-        options={"time_limit": time_limit, "presolve": True},
-    )
-    if not res.success or res.x is None:
-        return None
-    pattern = _extract_pattern(model, res.x, allocation)
-    try:
-        pattern.validate(chain, platform)
-        pattern.check_memory(chain, platform, tol=1e-6)
-    except Exception:
-        return None  # numerical artifacts: treat as infeasible probe
+    pattern, _ = _solve_model(chain, platform, allocation, model, time_limit)
     return pattern
 
 
@@ -102,6 +189,83 @@ def _sequential_period(chain: Chain, platform: Platform, allocation: Allocation)
     return total
 
 
+def _reoptimize_period(
+    skeleton: MilpSkeleton,
+    allocation: Allocation,
+    x: np.ndarray,
+    t_floor: float,
+) -> tuple[float, PeriodicPattern] | None:
+    """Fixed-configuration LP: freeze the shifts ``h`` and disjunction
+    binaries ``y`` of a feasible MILP solution and minimize ``T`` over the
+    start times jointly — the model is linear in ``(t, T)`` once the
+    combinatorial choices are fixed.
+
+    Returns the certified minimal period of that configuration and its
+    pattern (to be re-validated by the caller), or ``None`` if the LP
+    fails.  ``t_floor`` keeps the jump consistent with what the search
+    already certified infeasible.
+    """
+    n_ops = skeleton.n_ops
+    t_col = n_ops  # variables: t_0..t_{n-1}, then T
+    dur = skeleton.durations
+    t_index = skeleton.t_index
+    h = {o: int(round(x[skeleton.h_index[o]])) for o in skeleton.ops}
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+
+    def add(coeffs: dict[int, float], ub: float) -> None:
+        row = np.zeros(n_ops + 1)
+        for col, val in coeffs.items():
+            row[col] += val
+        rows.append(row)
+        rhs.append(ub)
+
+    # dependency u→v: (h_v−h_u)·T + t_v − t_u ≥ d_u
+    for u, v in skeleton.dep_edges:
+        dh = h[v] - h[u]
+        add({t_index[u]: 1.0, t_index[v]: -1.0, t_col: -float(dh)}, -dur[u])
+    # disjunctions with y frozen:
+    #   t_b − t_a − T·y ≥ d_a − T   and   t_a − t_b + T·y ≥ d_b
+    for (a, b), yi in skeleton.y_index.items():
+        y = int(round(x[yi]))
+        if y == 1:
+            add({t_index[a]: 1.0, t_index[b]: -1.0}, -dur[a])
+            add({t_index[b]: 1.0, t_index[a]: -1.0, t_col: -1.0}, -dur[b])
+        else:
+            add({t_index[a]: 1.0, t_index[b]: -1.0, t_col: -1.0}, -dur[a])
+            add({t_index[b]: 1.0, t_index[a]: -1.0}, -dur[b])
+    # no wrap: t_o ≤ T − d_o
+    for o in skeleton.ops:
+        add({t_index[o]: 1.0, t_col: -1.0}, -dur[o])
+    # memory rows involve only h and y — constant under this freeze, and
+    # already satisfied at the probed period; re-checked by the caller.
+
+    c = np.zeros(n_ops + 1)
+    c[t_col] = 1.0
+    bounds = [(0.0, None)] * n_ops + [(t_floor, None)]
+    res = linprog(
+        c, A_ub=np.array(rows), b_ub=np.array(rhs), bounds=bounds, method="highs"
+    )
+    if not res.success or res.x is None:
+        return None
+    T_lp = float(res.x[t_col])
+    pattern = PeriodicPattern(allocation=allocation, period=T_lp)
+    for o in skeleton.ops:
+        kind, index = o
+        pattern.add(
+            Op(
+                kind=kind,
+                index=index,
+                resource=skeleton.resources[o],
+                start=float(res.x[t_index[o]]),
+                duration=dur[o],
+                shift=h[o],
+            )
+        )
+    pattern.normalize()
+    return T_lp, pattern
+
+
 def schedule_allocation(
     chain: Chain,
     platform: Platform,
@@ -110,35 +274,133 @@ def schedule_allocation(
     rel_tol: float = 5e-3,
     max_probes: int = 20,
     time_limit: float = 60.0,
+    reuse_skeleton: bool = True,
 ) -> ILPScheduleResult:
-    """Smallest-period valid pattern for ``allocation`` via binary search.
+    """Smallest-period valid pattern for ``allocation``.
 
     The returned period is within ``rel_tol`` of the smallest period the
-    MILP can certify feasible.
+    MILP can certify feasible.  See the module docstring for the search
+    strategy; ``reuse_skeleton=False`` rebuilds every probe's model from
+    scratch (same probes, same answer — kept for the equivalence test).
     """
     lower = allocation.period_lower_bound(chain, platform)
-    upper = _sequential_period(chain, platform, allocation)
-    probes: list[tuple[float, bool]] = []
+    seq = _sequential_period(chain, platform, allocation)
+    trace: list[ProbeRecord] = []
+    try:
+        skeleton = build_skeleton(chain, platform, allocation)
+    except ValueError:
+        # static memory (weights+buffers) alone exceeds some GPU: no
+        # period can ever be feasible
+        return ILPScheduleResult(INF, None, trace)
+    probe_skeleton = skeleton if reuse_skeleton else None
 
-    best = solve_fixed_period(chain, platform, allocation, lower, time_limit=time_limit)
-    probes.append((lower, best is not None))
-    if best is not None:
-        return ILPScheduleResult(lower, best, probes)
+    memo: dict[float, bool] = {}
+    state = {"lo": lower, "hi": INF, "pattern": None}
 
-    pattern = solve_fixed_period(chain, platform, allocation, upper, time_limit=time_limit)
-    probes.append((upper, pattern is not None))
-    if pattern is None:
-        return ILPScheduleResult(float("inf"), None, probes)
-    best, best_T = pattern, upper
+    def n_milp_probes() -> int:
+        return sum(1 for p in trace if p.kind == "milp")
 
-    lo, hi = lower, upper
-    while len(probes) < max_probes and hi - lo > rel_tol * lo:
-        mid = (lo + hi) / 2
-        pattern = solve_fixed_period(chain, platform, allocation, mid, time_limit=time_limit)
-        probes.append((mid, pattern is not None))
-        if pattern is not None:
-            best, best_T = pattern, mid
-            hi = mid
+    def lp_jump(x: np.ndarray) -> None:
+        t0 = time.perf_counter()
+        out = _reoptimize_period(skeleton, allocation, x, max(lower, state["lo"]))
+        if out is not None:
+            T_lp, pattern = out
+            if T_lp < state["hi"] * (1 - 1e-12):
+                try:
+                    pattern.validate(chain, platform)
+                    pattern.check_memory(chain, platform, tol=1e-6)
+                except Exception:
+                    out = None
+                else:
+                    state["hi"], state["pattern"] = T_lp, pattern
+        trace.append(
+            ProbeRecord(
+                period=state["hi"],
+                feasible=out is not None,
+                build_s=0.0,
+                solve_s=time.perf_counter() - t0,
+                kind="lp",
+            )
+        )
+
+    def probe(T: float, *, jump: bool = True, feasibility_only: bool = True) -> bool:
+        if T in memo:
+            return memo[T]
+        t0 = time.perf_counter()
+        model = build_milp(chain, platform, allocation, T, skeleton=probe_skeleton)
+        t1 = time.perf_counter()
+        pattern, x = _solve_model(
+            chain, platform, allocation, model, time_limit,
+            feasibility_only=feasibility_only,
+        )
+        ok = pattern is not None
+        trace.append(
+            ProbeRecord(
+                period=T,
+                feasible=ok,
+                build_s=t1 - t0,
+                solve_s=time.perf_counter() - t1,
+            )
+        )
+        memo[T] = ok
+        if ok:
+            if T < state["hi"]:
+                state["hi"], state["pattern"] = T, pattern
+            if jump:
+                lp_jump(x)
         else:
-            lo = mid
-    return ILPScheduleResult(best_T, best, probes)
+            state["lo"] = max(state["lo"], T)
+        return ok
+
+    # 1. the lower bound itself (roomy instances end here)
+    if probe(lower, jump=False, feasibility_only=False):
+        return ILPScheduleResult(lower, state["pattern"], trace)
+
+    # 2. bracket a feasible upper bound: 1F1B* hint, then an accelerating
+    #    gallop from the lower bound, capped by the sequential period
+    ladder: list[float] = []
+    if allocation.n_stages <= platform.n_procs:
+        from ..algorithms.onef1b import min_feasible_period
+
+        star = min_feasible_period(
+            chain, platform, allocation.partitioning, build=False
+        )
+        if star is not None and lower < star.period < seq:
+            ladder.append(star.period)
+    step = GALLOP_FACTOR
+    g = lower * step
+    while g < seq * 0.999:
+        ladder.append(g)
+        step *= step  # exponent doubles: 1.25, 1.25^2, 1.25^4, …
+        g = g * step
+    ladder = sorted(set(ladder)) + [seq]
+
+    for T in ladder:
+        if T <= state["lo"] or n_milp_probes() >= max_probes:
+            continue
+        if probe(T):
+            break
+        if T >= seq:
+            return ILPScheduleResult(INF, None, trace)
+    if state["pattern"] is None:  # probe budget exhausted while bracketing
+        return ILPScheduleResult(INF, None, trace)
+
+    # 3. certify the gap: asymmetric probes just under the incumbent close
+    #    it in one infeasible probe; repeated feasible ones (the incumbent
+    #    was far from optimal and the LP jump could not shrink it) fall
+    #    back to plain bisection
+    streak = 0
+    while n_milp_probes() < max_probes:
+        lo, hi = state["lo"], state["hi"]
+        if hi - lo <= rel_tol * lo:
+            break
+        T = hi / (1 + rel_tol) if streak < 2 else 0.5 * (lo + hi)
+        if not lo < T < hi:
+            T = 0.5 * (lo + hi)
+            if not lo < T < hi:
+                break
+        if probe(T):
+            streak += 1
+        else:
+            streak = 0
+    return ILPScheduleResult(state["hi"], state["pattern"], trace)
