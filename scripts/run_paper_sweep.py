@@ -3,11 +3,16 @@
 
 Produces ``results/paper_grid.json`` with every (network, P, M, β,
 algorithm) instance needed by Figs. 6, 7 and 8.  Instances already in the
-cache are skipped, so the sweep is resumable.
+cache are skipped, so a killed sweep resumes from where it stopped;
+``--resume`` additionally re-runs cached instances that previously ended
+in ``solver_timeout``/``error``.  Crashed or deadline-blowing instances
+are retried ``--max-retries`` times with exponential backoff before the
+sweep records a typed error result and moves on.
 
 Usage::
 
-    python scripts/run_paper_sweep.py [--fast]
+    python scripts/run_paper_sweep.py [--fast] [--resume]
+        [--max-retries N] [--instance-timeout S]
 """
 
 from __future__ import annotations
@@ -43,6 +48,24 @@ def main() -> int:
         default=1,
         help="fan instances out over N worker processes (1 = serial)",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="also re-run cached instances that ended in solver_timeout/error",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per crashed/timed-out instance before recording an error",
+    )
+    parser.add_argument(
+        "--instance-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-instance wall-clock deadline enforced inside the worker",
+    )
     args = parser.parse_args()
 
     Path(args.out).parent.mkdir(parents=True, exist_ok=True)
@@ -55,6 +78,10 @@ def main() -> int:
         cache=cache,
         verbose=True,
         n_workers=args.workers,
+        retry_failed=args.resume,
+        max_retries=args.max_retries,
+        instance_timeout=args.instance_timeout,
+        on_exhausted="record",
     )
 
     t0 = time.time()

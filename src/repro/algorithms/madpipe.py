@@ -45,6 +45,14 @@ class MadPipeResult:
     ``period`` is the certified valid-schedule period (the solid line).
     ``ilp`` carries the phase-2 period search (probe trace and timings)
     whenever the phase-1 allocation went through the scheduling MILP.
+
+    ``status`` classifies the outcome: ``ok`` (certified schedule, clean
+    search), ``degraded`` (the schedule is valid, but the MILP exhausted
+    its time budget somewhere — the period carries the certified 1F1B\\*
+    fallback or an uncertified search result, and may be improvable with
+    a larger ``ilp_time_limit``), ``solver_timeout`` (no schedule found
+    *and* the failure was the solver budget, not proven infeasibility),
+    ``infeasible`` (certified: nothing fits).
     """
 
     phase1: Algorithm1Result
@@ -53,6 +61,7 @@ class MadPipeResult:
     period: float = INF
     notes: list[str] = field(default_factory=list)
     ilp: ILPScheduleResult | None = None
+    status: str = "ok"
 
     @property
     def dp_period(self) -> float:
@@ -102,7 +111,27 @@ def madpipe(
                 result.period = ilp.period
                 result.notes.append("phase-1 non-contiguous allocation via ILP")
             else:
-                result.notes.append("ILP could not schedule phase-1 allocation")
+                result.notes.append(
+                    f"ILP could not schedule phase-1 allocation ({ilp.status})"
+                )
+                if ilp.status == "timeout" and allocation.n_stages <= platform.n_procs:
+                    # the MILP ran out of budget without proving anything;
+                    # fall back to the certified 1F1B* schedule of the
+                    # allocation's contiguous restriction instead of
+                    # reporting infeasible
+                    sched = min_feasible_period(
+                        chain, platform, allocation.partitioning
+                    )
+                    if sched is not None:
+                        result.allocation = Allocation.contiguous(
+                            allocation.partitioning
+                        )
+                        result.pattern = sched.pattern
+                        result.period = sched.period
+                        result.notes.append(
+                            "ILP time budget exhausted; fell back to the "
+                            "certified 1F1B* contiguous restriction"
+                        )
     else:
         result.notes.append("phase 1 found no memory-feasible allocation")
 
@@ -121,4 +150,20 @@ def madpipe(
                 result.pattern = sched.pattern
                 result.period = sched.period
                 result.notes.append("contiguous memory-aware candidate won")
+
+    # classify the outcome: any phase-2 budget hit taints the result
+    ilp_budget_hit = result.ilp is not None and result.ilp.status in (
+        "timeout",
+        "degraded",
+    )
+    if result.pattern is None:
+        result.status = (
+            "solver_timeout"
+            if result.ilp is not None and result.ilp.status == "timeout"
+            else "infeasible"
+        )
+    elif ilp_budget_hit:
+        result.status = "degraded"
+    else:
+        result.status = "ok"
     return result

@@ -5,6 +5,8 @@ Usage::
     python -m repro profile resnet50 --image-size 1000 --batch 8 -o rn50.json
     python -m repro report rn50.json --top 10
     python -m repro schedule rn50.json -p 4 -m 8 -b 12 --gantt -o sched.json
+    python -m repro sweep --networks toy8 --procs 2 4 --out grid.jsonl --resume
+    python -m repro cache verify grid.jsonl --fix
 """
 
 from __future__ import annotations
@@ -54,6 +56,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.algorithm == "pipedream":
         res = pipedream(chain, platform)
         pattern = res.schedule.pattern if res.feasible else None
+        mp = None
         phase1 = None
         ilp = None
     else:
@@ -61,6 +64,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             chain,
             platform,
             grid=getattr(Discretization, args.grid)(),
+            iterations=args.iterations,
             ilp_time_limit=args.ilp_time_limit,
         )
         pattern = mp.pattern
@@ -79,12 +83,21 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             if ilp is not None:
                 t = ilp.timings
                 print(
-                    f"phase-2 ILP: {t['milp_probes']} MILP probes, "
-                    f"{t['lp_jumps']} LP jumps, build {t['build_s']:.3f}s, "
-                    f"solve {t['solve_s']:.3f}s"
+                    f"phase-2 ILP: {t['milp_probes']} MILP probes "
+                    f"({t['milp_timeouts']} hit the time limit), "
+                    f"{t['lp_jumps']} LP jumps ({t['lp_failures']} failed), "
+                    f"build {t['build_s']:.3f}s, solve {t['solve_s']:.3f}s, "
+                    f"search status: {ilp.status}"
                 )
+            print(f"result status: {mp.status}")
+            for note in mp.notes:
+                print(f"  - {note}")
     if pattern is None:
-        print("no memory-feasible schedule found")
+        if mp is not None and mp.status != "ok":
+            reason = "; ".join(mp.notes) or mp.status
+            print(f"no memory-feasible schedule found [{mp.status}]: {reason}")
+        else:
+            print("no memory-feasible schedule found")
         return 1
     print(schedule_report(chain, platform, pattern))
     if args.gantt:
@@ -94,6 +107,72 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         save_pattern(pattern, args.out)
         print(f"\nwrote schedule to {args.out}")
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments import ResultCache, run_grid
+
+    Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+    cache = ResultCache(args.out, flush_every=args.flush_every)
+    if cache.quarantined:
+        print(
+            f"warning: quarantined {len(cache.quarantined)} corrupt cache "
+            f"line(s); kept {len(cache)} valid record(s)"
+        )
+    try:
+        results = run_grid(
+            tuple(args.networks),
+            tuple(args.procs),
+            tuple(args.memories),
+            tuple(args.bandwidths),
+            algorithms=tuple(args.algorithms),
+            grid=getattr(Discretization, args.grid)(),
+            iterations=args.iterations,
+            ilp_time_limit=args.ilp_time_limit,
+            cache=cache,
+            verbose=not args.quiet,
+            n_workers=args.workers,
+            instance_timeout=args.instance_timeout,
+            max_retries=args.max_retries,
+            retry_failed=args.resume,
+            on_exhausted=args.on_error,
+        )
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; {len(cache)} instance(s) cached in {args.out}")
+        print("re-run with --resume to continue")
+        return 130
+    n_bad = sum(1 for r in results if r is not None and r.status != "ok")
+    print(f"sweep done: {len(results)} instance(s), {n_bad} not ok, cache {args.out}")
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from .experiments import ResultCache, verify_cache
+
+    report = verify_cache(args.cache)
+    print(f"{report['path']}: format={report['format']} records={report['records']}")
+    if report["statuses"]:
+        hist = ", ".join(f"{k}={v}" for k, v in sorted(report["statuses"].items()))
+        print(f"statuses: {hist}")
+    for lineno, reason in report["corrupt"]:
+        print(f"corrupt line {lineno}: {reason}")
+    if report["duplicate_keys"]:
+        print(f"duplicate keys: {report['duplicate_keys']} (last write wins)")
+    if report["clean"]:
+        print("clean")
+        return 0
+    if args.fix:
+        cache = ResultCache(args.cache)
+        if cache.repair():
+            after = verify_cache(args.cache)
+            print(f"repaired: {after['records']} record(s), clean={after['clean']}")
+            return 0 if after["clean"] else 1
+        print("nothing recoverable to write")
+        return 1
+    print("not clean (re-run with --fix to repair)")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--ilp-time-limit", type=float, default=60.0)
     p.add_argument(
+        "--iterations", type=int, default=10,
+        help="phase-1 binary-search iterations (madpipe only)",
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
         help="print solver diagnostics (DP states/pruning, ILP probe timings)",
@@ -133,6 +216,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     p.add_argument("-o", "--out", default=None)
     p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a (network, P, M, beta, algorithm) grid with a resumable cache",
+    )
+    p.add_argument(
+        "--networks",
+        nargs="+",
+        default=["resnet50"],
+        help="paper network names, or toy<L> for synthetic chains",
+    )
+    p.add_argument("--procs", nargs="+", type=int, default=[2, 4, 8])
+    p.add_argument(
+        "--memories", nargs="+", type=float, default=[4.0, 8.0, 16.0],
+        metavar="GB",
+    )
+    p.add_argument(
+        "--bandwidths", nargs="+", type=float, default=[12.0], metavar="GBPS"
+    )
+    p.add_argument(
+        "--algorithms", nargs="+", choices=("pipedream", "madpipe"),
+        default=["pipedream", "madpipe"],
+    )
+    p.add_argument("--out", default="results/sweep.jsonl", help="cache file (JSONL)")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-run cached instances whose status is solver_timeout/error "
+        "(completed instances are always skipped)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per crashed/timed-out instance before giving up",
+    )
+    p.add_argument(
+        "--instance-timeout", type=float, default=None, metavar="S",
+        help="per-instance wall-clock deadline, enforced in the worker",
+    )
+    p.add_argument(
+        "--on-error", choices=("raise", "record"), default="raise",
+        help='after retries: "raise" aborts the sweep, "record" stores a '
+        "typed error result and continues",
+    )
+    p.add_argument(
+        "--grid", choices=("coarse", "default", "paper"), default="coarse"
+    )
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--ilp-time-limit", type=float, default=30.0)
+    p.add_argument("--flush-every", type=int, default=8)
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect/repair sweep result caches")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pv = cache_sub.add_parser(
+        "verify", help="audit a cache file; exit 1 if it is not clean"
+    )
+    pv.add_argument("cache", help="cache file path (JSONL or legacy JSON array)")
+    pv.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite the file clean (atomic; corrupt lines stay in the "
+        ".quarantine sidecar)",
+    )
+    pv.set_defaults(func=_cmd_cache_verify)
     return parser
 
 

@@ -16,6 +16,7 @@ sums, weight sums) are served in O(1) from prefix sums.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,6 +42,16 @@ class LayerProfile:
     activation: float
 
     def __post_init__(self) -> None:
+        for attr in ("u_f", "u_b", "weights", "activation"):
+            v = getattr(self, attr)
+            try:
+                finite = math.isfinite(v)
+            except TypeError:
+                raise ValueError(
+                    f"layer {self.name!r}: {attr} must be a number, got {v!r}"
+                ) from None
+            if not finite:
+                raise ValueError(f"layer {self.name!r}: non-finite {attr} ({v!r})")
         if self.u_f < 0 or self.u_b < 0:
             raise ValueError(f"layer {self.name!r}: negative duration")
         if self.weights < 0 or self.activation < 0:
@@ -70,6 +81,17 @@ class Chain:
     def __post_init__(self) -> None:
         if not self.layers:
             raise ValueError("a chain needs at least one layer")
+        try:
+            finite = math.isfinite(self.input_activation)
+        except TypeError:
+            raise ValueError(
+                f"input activation size must be a number, "
+                f"got {self.input_activation!r}"
+            ) from None
+        if not finite:
+            raise ValueError(
+                f"input activation size must be finite, got {self.input_activation!r}"
+            )
         if self.input_activation < 0:
             raise ValueError("negative input activation size")
         u_f = np.array([l.u_f for l in self.layers], dtype=float)

@@ -8,6 +8,7 @@ boundary, hence ``C(l) = 2 a_l / β``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["Platform", "GB", "GBPS"]
@@ -38,6 +39,14 @@ class Platform:
     bandwidth: float
 
     def __post_init__(self) -> None:
+        for attr in ("n_procs", "memory", "bandwidth"):
+            v = getattr(self, attr)
+            try:
+                finite = math.isfinite(v)
+            except TypeError:
+                raise ValueError(f"{attr} must be a number, got {v!r}") from None
+            if not finite:
+                raise ValueError(f"{attr} must be finite, got {v!r}")
         if self.n_procs < 1:
             raise ValueError("need at least one processor")
         if self.memory <= 0:

@@ -10,12 +10,16 @@ from .figures import (
     render_fig8,
 )
 from .harness import (
+    RESULT_STATUSES,
+    InstanceTimeoutError,
     ResultCache,
     RunResult,
+    SweepInstanceError,
     load_results,
     run_grid,
     run_instance,
     save_results,
+    verify_cache,
 )
 from .scenarios import (
     FIG8_PROCS,
@@ -35,12 +39,16 @@ __all__ = [
     "render_fig6",
     "render_fig7",
     "render_fig8",
+    "RESULT_STATUSES",
+    "InstanceTimeoutError",
     "ResultCache",
     "RunResult",
+    "SweepInstanceError",
     "load_results",
     "run_grid",
     "run_instance",
     "save_results",
+    "verify_cache",
     "FIG8_PROCS",
     "PAPER_BANDWIDTHS_GBPS",
     "PAPER_MEMORIES_GB",

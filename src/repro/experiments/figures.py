@@ -35,7 +35,11 @@ INF = float("inf")
 
 
 def _index(results: list[RunResult]) -> dict[tuple, RunResult]:
-    return {r.key: r for r in results}
+    # "error" records carry no measurement (the instance crashed); every
+    # other status — including "degraded" and "solver_timeout" — carries
+    # either a certified period or a certified-infeasible verdict and is
+    # plotted as-is.
+    return {r.key: r for r in results if r.status != "error"}
 
 
 def _fmt(x: float, width: int = 8) -> str:
@@ -181,7 +185,7 @@ def fig8_data(
     at this granularity the curves are nearly identical)."""
     best: dict[tuple[str, float, str, int], float] = {}
     for r in results:
-        if not r.feasible:
+        if not r.feasible or r.status == "error":
             continue
         k = (r.network, r.memory_gb, r.algorithm, r.n_procs)
         best[k] = max(best.get(k, 0.0), r.speedup)

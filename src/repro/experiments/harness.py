@@ -3,29 +3,56 @@
 Every (network, P, M, β, algorithm) instance yields a :class:`RunResult`
 with both the optimizer's own estimate (``dp_period``, the dashed lines
 of Fig. 6) and the certified valid-schedule period (``valid_period``, the
-solid lines).  Results serialize to JSON so that expensive sweeps run
-once and the figure generators replay them.
+solid lines), plus a ``status`` recording how the instance ended:
 
-Sweeps scale out two ways:
+``ok``
+    a certified schedule with no solver-budget trouble;
+``degraded``
+    a certified schedule, but the phase-2 MILP exhausted its time budget
+    somewhere along the way (the period carries the 1F1B\\* fallback or
+    an uncertified search outcome — valid, possibly improvable);
+``solver_timeout``
+    no schedule, and the failure is a time-limit hit rather than proven
+    infeasibility (re-running with a larger budget may succeed);
+``infeasible``
+    certified: no valid schedule exists for the instance;
+``error``
+    the instance crashed or exceeded its deadline repeatedly and was
+    recorded instead of re-raised (``on_exhausted="record"``).
+
+Sweeps are built to *survive*:
 
 * :func:`run_grid` fans uncached instances out over a
-  ``ProcessPoolExecutor`` when ``n_workers > 1`` (instances are
-  independent; the returned list keeps the deterministic grid order
-  regardless of completion order, and ``n_workers=1`` falls back to the
-  plain serial loop);
+  ``ProcessPoolExecutor`` when ``n_workers > 1``, retries crashed or
+  timed-out instances with exponential backoff and jitter
+  (``max_retries``), restarts the pool after a hard worker death
+  (``BrokenProcessPool``), enforces a per-instance deadline *inside*
+  the worker (``instance_timeout``, SIGALRM), and flushes the cache on
+  the way out even when interrupted — a sweep killed mid-run resumes
+  from the cache and re-runs only missing (and, with
+  ``retry_failed=True``, previously failed) instances;
 * :class:`ResultCache` persists results to an *append-only* JSON-Lines
-  file — one ``json.dumps`` line per instance, flushed in batches — so a
-  sweep of N instances costs O(N) I/O instead of the O(N²) of rewriting
-  a monolithic JSON document on every insert.  Legacy caches written by
-  :func:`save_results` (a JSON array) are read transparently and
-  migrated to JSONL on the first write.
+  file with fsync'd batched appends; legacy JSON-array caches are
+  migrated atomically (temp file + rename), corrupt or truncated
+  trailing lines are quarantined on load (the valid prefix is recovered
+  and the dropped lines are logged and copied to a ``.quarantine``
+  sidecar), and :func:`verify_cache` audits a cache file without
+  touching it.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import math
+import os
+import random
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -34,18 +61,53 @@ from ..algorithms.madpipe_dp import Discretization
 from ..algorithms.pipedream import pipedream
 from ..core.chain import Chain
 from ..core.platform import GB, GBPS, Platform
+from ..testing import faults
 from .scenarios import paper_chain
 
 __all__ = [
     "RunResult",
+    "RESULT_STATUSES",
+    "SweepInstanceError",
+    "InstanceTimeoutError",
     "run_instance",
     "run_grid",
     "save_results",
     "load_results",
     "ResultCache",
+    "verify_cache",
 ]
 
 INF = float("inf")
+
+log = logging.getLogger(__name__)
+
+#: The failure taxonomy; ``RunResult.status`` is always one of these.
+RESULT_STATUSES = ("ok", "degraded", "solver_timeout", "infeasible", "error")
+
+#: Cached statuses that ``run_grid(..., retry_failed=True)`` re-runs.
+RETRY_STATUSES = ("solver_timeout", "error")
+
+
+class SweepInstanceError(Exception):
+    """One grid instance kept failing after every retry.
+
+    Deliberately *not* a ``RuntimeError``: the pool-unavailable fallback
+    in :func:`run_grid` catches ``RuntimeError`` and must never swallow
+    this.
+    """
+
+    def __init__(self, spec: tuple, attempts: int, cause: BaseException):
+        super().__init__(
+            f"sweep instance {spec!r} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.spec = spec
+        self.attempts = attempts
+        self.cause = cause
+
+
+class InstanceTimeoutError(RuntimeError):
+    """A worker blew its per-instance deadline (``instance_timeout``)."""
 
 
 @dataclass
@@ -62,6 +124,8 @@ class RunResult:
     n_stages: int
     runtime_s: float
     sequential: float  # U(1, L), for speedups
+    status: str = "ok"  # one of RESULT_STATUSES
+    failure: str | None = None  # human-readable reason when status != "ok"
 
     @property
     def feasible(self) -> bool:
@@ -94,10 +158,14 @@ def run_instance(
 ) -> RunResult:
     """Run one algorithm on one (chain, platform) instance."""
     t0 = time.perf_counter()
+    status = "ok"
+    failure: str | None = None
     if algorithm == "pipedream":
         res = pipedream(chain, platform)
         dp, valid = res.dp_period, res.period
         n_stages = res.partitioning.n_stages if res.feasible else 0
+        if not res.feasible:
+            status, failure = "infeasible", "pipedream found no memory-feasible schedule"
     elif algorithm == "madpipe":
         res = madpipe(
             chain,
@@ -108,6 +176,9 @@ def run_instance(
         )
         dp, valid = res.dp_period, res.period
         n_stages = res.allocation.n_stages if res.allocation is not None else 0
+        status = res.status
+        if status != "ok":
+            failure = "; ".join(res.notes) or None
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     return RunResult(
@@ -121,7 +192,42 @@ def run_instance(
         n_stages=n_stages,
         runtime_s=time.perf_counter() - t0,
         sequential=chain.total_compute(),
+        status=status,
+        failure=failure,
     )
+
+
+def _spec_key(spec: tuple) -> str:
+    return "|".join(str(s) for s in spec)
+
+
+@contextmanager
+def _deadline(seconds: float | None, spec: tuple):
+    """Enforce a wall-clock deadline inside the current (worker) process.
+
+    Uses ``SIGALRM``, so it interrupts even a HiGHS solve stuck inside C
+    code between Python byte codes.  Silently a no-op where signals
+    cannot be armed (non-POSIX, non-main thread).
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if os.name != "posix" or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise InstanceTimeoutError(
+            f"instance {spec!r} exceeded its {seconds:g}s deadline"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 def _run_spec(
@@ -129,18 +235,42 @@ def _run_spec(
     grid: Discretization | None,
     iterations: int,
     ilp_time_limit: float,
+    instance_timeout: float | None = None,
 ) -> RunResult:
     """Worker entry point: rebuild the (cached-per-process) chain from the
     network name and run one instance.  Must stay module-level picklable."""
     network, p, m, b, algo = spec
-    return run_instance(
-        paper_chain(network),
-        Platform.of(p, m, b),
-        algo,
+    with _deadline(instance_timeout, spec):
+        # inside the deadline, so a "sleep" fault models a hung solve
+        faults.fire("worker", key=_spec_key(spec))
+        return run_instance(
+            paper_chain(network),
+            Platform.of(p, m, b),
+            algo,
+            network=network,
+            grid=grid,
+            iterations=iterations,
+            ilp_time_limit=ilp_time_limit,
+        )
+
+
+def _error_result(spec: tuple, exc: BaseException) -> RunResult:
+    """Typed stand-in for an instance that exhausted its retries."""
+    network, p, m, b, algo = spec
+    status = "solver_timeout" if isinstance(exc, InstanceTimeoutError) else "error"
+    return RunResult(
         network=network,
-        grid=grid,
-        iterations=iterations,
-        ilp_time_limit=ilp_time_limit,
+        n_procs=p,
+        memory_gb=m,
+        bandwidth_gbps=b,
+        algorithm=algo,
+        dp_period=INF,
+        valid_period=INF,
+        n_stages=0,
+        runtime_s=0.0,
+        sequential=0.0,
+        status=status,
+        failure=f"{type(exc).__name__}: {exc}",
     )
 
 
@@ -157,6 +287,11 @@ def run_grid(
     cache: "ResultCache | None" = None,
     verbose: bool = False,
     n_workers: int = 1,
+    instance_timeout: float | None = None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 1.0,
+    retry_failed: bool = False,
+    on_exhausted: str = "raise",
 ) -> list[RunResult]:
     """Run a full scenario grid, replaying cached instances if available.
 
@@ -164,7 +299,29 @@ def run_grid(
     results come back in the same deterministic (network, P, β, M,
     algorithm) order as the serial loop, and new results are written to
     ``cache`` as they complete so interrupted sweeps stay resumable.
+
+    Resilience knobs:
+
+    * ``instance_timeout`` — wall-clock deadline per instance, enforced
+      with ``SIGALRM`` inside the worker;
+    * ``max_retries`` — each crashed or timed-out instance is retried
+      this many times, in rounds with exponential backoff and jitter; a
+      hard worker death (``BrokenProcessPool``) restarts the pool and
+      charges one attempt to every unfinished instance of the round;
+    * ``on_exhausted`` — ``"raise"`` (default) raises
+      :class:`SweepInstanceError` identifying the failing spec once its
+      retries are spent; ``"record"`` stores a typed ``error`` /
+      ``solver_timeout`` result instead and lets the sweep complete;
+    * ``retry_failed`` — also re-run cached instances whose status is in
+      :data:`RETRY_STATUSES` (the ``--resume`` semantics).
+
+    The cache is flushed on *every* exit path, including
+    ``KeyboardInterrupt``, so completed instances are never lost.
     """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if on_exhausted not in ("raise", "record"):
+        raise ValueError('on_exhausted must be "raise" or "record"')
     specs: list[tuple] = [
         (network, p, float(m), float(b), algo)
         for network in networks
@@ -174,47 +331,167 @@ def run_grid(
         for algo in algorithms
     ]
     out: list[RunResult | None] = [None] * len(specs)
-    todo: list[int] = []
+    remaining: set[int] = set()
     for i, spec in enumerate(specs):
         hit = cache.get(spec) if cache is not None else None
-        if hit is not None:
+        if hit is not None and not (retry_failed and hit.status in RETRY_STATUSES):
             out[i] = hit
         else:
-            todo.append(i)
+            remaining.add(i)
+
+    attempts = dict.fromkeys(remaining, 0)
+    n_recorded = 0
 
     def record(i: int, r: RunResult) -> None:
+        nonlocal n_recorded
         out[i] = r
         if cache is not None:
             cache.put(r)
+        n_recorded += 1
         if verbose:
             network, p, m, b, algo = specs[i]
             print(
                 f"{network} P={p} M={m} beta={b} {algo}: "
                 f"dp={r.dp_period:.4f} valid={r.valid_period:.4f} "
-                f"({r.runtime_s:.1f}s)"
+                f"[{r.status}] ({r.runtime_s:.1f}s)"
             )
+        faults.fire("sweep_record", key=str(n_recorded))
 
-    if n_workers > 1 and len(todo) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = {
-                    pool.submit(
-                        _run_spec, specs[i], grid, iterations, ilp_time_limit
-                    ): i
-                    for i in todo
-                }
-                for fut in as_completed(futures):
-                    record(futures[fut], fut.result())
-            todo = []
-        except (OSError, RuntimeError) as exc:  # pool unavailable → serial
+    def finish(i: int, r: RunResult) -> None:
+        record(i, r)
+        remaining.discard(i)
+
+    def fail(i: int, exc: BaseException) -> None:
+        attempts[i] += 1
+        if attempts[i] <= max_retries:
             if verbose:
-                print(f"process pool failed ({exc}); falling back to serial")
-            todo = [i for i in todo if out[i] is None]
-    for i in todo:
-        record(i, _run_spec(specs[i], grid, iterations, ilp_time_limit))
-    if cache is not None:
-        cache.flush()
+                print(
+                    f"instance {specs[i]!r} failed "
+                    f"({type(exc).__name__}: {exc}); "
+                    f"retry {attempts[i]}/{max_retries}"
+                )
+            return
+        if on_exhausted == "record":
+            if verbose:
+                print(f"instance {specs[i]!r} exhausted retries; recording error")
+            finish(i, _error_result(specs[i], exc))
+        else:
+            raise SweepInstanceError(specs[i], attempts[i], exc) from exc
+
+    pool_ok = n_workers > 1
+    round_no = 0
+    try:
+        while remaining:
+            if round_no > 0:  # back off with jitter before any retry round
+                delay = min(retry_backoff_s * 2 ** (round_no - 1), 30.0)
+                time.sleep(delay * (1.0 + 0.25 * random.random()))
+            round_no += 1
+            batch = sorted(remaining)
+            if pool_ok and len(batch) > 1:
+                try:
+                    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                        futures = {
+                            pool.submit(
+                                _run_spec,
+                                specs[i],
+                                grid,
+                                iterations,
+                                ilp_time_limit,
+                                instance_timeout,
+                            ): i
+                            for i in batch
+                        }
+                        for fut in as_completed(futures):
+                            i = futures[fut]
+                            try:
+                                finish(i, fut.result())
+                            except (BrokenProcessPool, KeyboardInterrupt, SystemExit):
+                                raise
+                            except SweepInstanceError:
+                                raise
+                            except Exception as exc:
+                                fail(i, exc)
+                except BrokenProcessPool as exc:
+                    # a worker died hard (SIGKILL/os._exit): every
+                    # unfinished instance of the round is charged one
+                    # attempt, then the pool is rebuilt next round
+                    if verbose:
+                        print(f"process pool broke ({exc}); restarting")
+                    for i in [j for j in batch if j in remaining]:
+                        fail(i, exc)
+                except (OSError, RuntimeError) as exc:  # pool unavailable → serial
+                    if verbose:
+                        print(f"process pool failed ({exc}); falling back to serial")
+                    pool_ok = False
+            else:
+                for i in batch:
+                    try:
+                        finish(
+                            i,
+                            _run_spec(
+                                specs[i], grid, iterations, ilp_time_limit, instance_timeout
+                            ),
+                        )
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except SweepInstanceError:
+                        raise
+                    except Exception as exc:
+                        fail(i, exc)
+    finally:
+        if cache is not None:
+            cache.flush()
     return out
+
+
+# ------------------------------------------------------------ serialization
+
+#: Fields every cache record must carry (status/failure are optional for
+#: records written before the failure taxonomy existed).
+_CORE_FIELDS = (
+    "network",
+    "n_procs",
+    "memory_gb",
+    "bandwidth_gbps",
+    "algorithm",
+    "dp_period",
+    "valid_period",
+    "n_stages",
+    "runtime_s",
+    "sequential",
+)
+_FIELDS = _CORE_FIELDS + ("status", "failure")
+#: Numeric fields; periods may be ``null`` (= inf), nothing may be NaN.
+_NUMERIC_FIELDS = tuple(f for f in _CORE_FIELDS if f not in ("network", "algorithm"))
+
+
+def _reject_nan(name: str) -> float:
+    raise ValueError(f"non-finite JSON constant {name!r}")
+
+
+def _record_from_dict(d: object) -> RunResult:
+    """Strict-parse one serialized record; raises ``ValueError`` on any
+    missing field, NaN/Infinity constant, wrong type or unknown status."""
+    if not isinstance(d, dict):
+        raise ValueError(f"expected a JSON object, got {type(d).__name__}")
+    missing = [f for f in _CORE_FIELDS if f not in d]
+    if missing:
+        raise ValueError(f"missing fields {missing}")
+    d = {k: v for k, v in d.items() if k in _FIELDS}
+    for k in _NUMERIC_FIELDS:
+        v = d[k]
+        if v is None and k in ("dp_period", "valid_period"):
+            continue
+        if isinstance(v, bool) or not isinstance(v, (int, float)) or not math.isfinite(v):
+            raise ValueError(f"field {k!r} must be a finite number, got {v!r}")
+    for k in ("dp_period", "valid_period"):
+        if d[k] is None:
+            d[k] = INF
+    d.setdefault("status", "ok" if d["valid_period"] != INF else "infeasible")
+    d.setdefault("failure", None)
+    if d["status"] not in RESULT_STATUSES:
+        raise ValueError(f"unknown status {d['status']!r}")
+    return RunResult(**d)
 
 
 def _to_jsonable(r: RunResult) -> dict:
@@ -226,10 +503,7 @@ def _to_jsonable(r: RunResult) -> dict:
 
 
 def _from_jsonable(d: dict) -> RunResult:
-    for k in ("dp_period", "valid_period"):
-        if d[k] is None:
-            d[k] = INF
-    return RunResult(**d)
+    return _record_from_dict(d)
 
 
 def save_results(results: list[RunResult], path: str | Path) -> None:
@@ -243,26 +517,58 @@ def save_results(results: list[RunResult], path: str | Path) -> None:
 
 def load_results(path: str | Path) -> list[RunResult]:
     """Load results written by :func:`save_results` *or* by the JSONL
-    :class:`ResultCache` — the format is sniffed from the first byte."""
+    :class:`ResultCache` — the format is sniffed from the first byte.
+
+    Strict: a corrupt line, a NaN/Infinity constant or a malformed
+    record raises ``ValueError`` naming the offending line, instead of
+    propagating garbage into the figure generators.  Use
+    :class:`ResultCache` (which quarantines and recovers) or
+    :func:`verify_cache` for damaged files.
+    """
     text = Path(path).read_text()
     stripped = text.lstrip()
     if not stripped:
         return []
     if stripped[0] == "[":
-        payload = json.loads(text)
-    else:
-        payload = [json.loads(line) for line in text.splitlines() if line.strip()]
-    return [_from_jsonable(d) for d in payload]
+        payload = json.loads(text, parse_constant=_reject_nan)
+        out = []
+        for i, d in enumerate(payload):
+            try:
+                out.append(_record_from_dict(d))
+            except ValueError as exc:
+                raise ValueError(f"{path}: record {i}: {exc}") from exc
+        return out
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            out.append(_record_from_dict(json.loads(line, parse_constant=_reject_nan)))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: corrupt cache line: {exc}") from exc
+    return out
+
+
+# ------------------------------------------------------------------ cache
 
 
 class ResultCache:
     """Append-only JSONL instance cache keyed by scenario tuple.
 
     Each :meth:`put` buffers one record; buffers are appended to the file
-    every ``flush_every`` inserts (and on :meth:`flush`/context exit), so
-    inserting N results costs O(N) I/O.  A cache file in the legacy
-    :func:`save_results` JSON-array format is read transparently and
-    rewritten as JSONL on the first flush.
+    every ``flush_every`` inserts (and on :meth:`flush`/context exit) in
+    a single fsync'd write, so inserting N results costs O(N) I/O and a
+    killed process loses at most the unflushed buffer.  A cache file in
+    the legacy :func:`save_results` JSON-array format is migrated to
+    JSONL atomically (temp file + rename) on the first flush.
+
+    Loading is *recovering*: corrupt, truncated or NaN-bearing lines are
+    quarantined (logged, appended to a ``<name>.quarantine`` sidecar)
+    and the valid remainder is kept; the first subsequent flush rewrites
+    the file clean.  Duplicate keys resolve last-write-wins.  Concurrent
+    sweep processes may append to the same cache (each flush is one
+    ``O_APPEND`` write); only migration/repair rewrites, which assumes a
+    single writer.
     """
 
     def __init__(self, path: str | Path, *, flush_every: int = 1):
@@ -273,36 +579,113 @@ class ResultCache:
         self._data: dict[tuple, RunResult] = {}
         self._pending: list[RunResult] = []
         self._legacy = False
+        self._needs_rewrite = False
+        self.quarantined: list[tuple[int, str, str]] = []  # (lineno, reason, line)
         if self.path.exists():
-            text = self.path.read_text()
-            self._legacy = text.lstrip().startswith("[")
+            self._load()
+
+    def _load(self) -> None:
+        text = self.path.read_text()
+        stripped = text.lstrip()
+        if not stripped:
+            return
+        if stripped[0] == "[":
+            # legacy JSON array: all-or-nothing (the atomic migration
+            # guarantees we never see a half-written one)
+            self._legacy = True
             for r in load_results(self.path):
                 self._data[r.key] = r
+            return
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            if not line.strip():
+                continue
+            try:
+                r = _record_from_dict(json.loads(line, parse_constant=_reject_nan))
+            except ValueError as exc:
+                self.quarantined.append((lineno, str(exc), line))
+            else:
+                self._data[r.key] = r
+        if self.quarantined:
+            self._needs_rewrite = True
+            self._write_quarantine()
+            log.warning(
+                "%s: dropped %d corrupt line(s) (%s); recovered %d record(s)",
+                self.path,
+                len(self.quarantined),
+                "; ".join(f"line {n}: {why}" for n, why, _ in self.quarantined[:3]),
+                len(self._data),
+            )
+        if not text.endswith("\n"):
+            # torn final write: even if it parsed, normalize on next flush
+            # rather than appending onto a line with no terminator
+            self._needs_rewrite = True
+
+    def _write_quarantine(self) -> None:
+        sidecar = self.path.with_name(self.path.name + ".quarantine")
+        try:
+            with sidecar.open("a") as fh:
+                for lineno, reason, line in self.quarantined:
+                    fh.write(f"# line {lineno}: {reason}\n{line}\n")
+        except OSError:  # read-only location: the log line above suffices
+            pass
 
     def get(self, key: tuple) -> RunResult | None:
         return self._data.get(key)
 
     def put(self, result: RunResult) -> None:
+        if result.key in self._data:
+            # overwrite (e.g. a --resume re-run): appending would leave a
+            # stale duplicate line, so force an atomic dedup rewrite
+            self._needs_rewrite = True
         self._data[result.key] = result
         self._pending.append(result)
         if len(self._pending) >= self.flush_every:
             self.flush()
 
-    def flush(self) -> None:
-        """Write buffered records out (rewriting legacy-format files once).
+    def _rewrite_atomic(self) -> None:
+        tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
+        with tmp.open("w") as fh:
+            for r in self._data.values():
+                fh.write(json.dumps(_to_jsonable(r)) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._legacy = False
+        self._needs_rewrite = False
 
-        Pure reads never rewrite: a legacy file is only migrated to JSONL
-        when there is something new to persist.
+    def flush(self) -> None:
+        """Write buffered records out (rewriting legacy/damaged files once).
+
+        Pure reads never rewrite: migration and corruption repair happen
+        only when there is something new to persist.
         """
-        if self._legacy and self._pending:
-            lines = [json.dumps(_to_jsonable(r)) for r in self._data.values()]
-            self.path.write_text("\n".join(lines) + "\n" if lines else "")
-            self._legacy = False
-        elif self._pending:
-            with self.path.open("a") as fh:
-                for r in self._pending:
-                    fh.write(json.dumps(_to_jsonable(r)) + "\n")
+        if self._pending:
+            if self._legacy or self._needs_rewrite:
+                self._rewrite_atomic()
+            else:
+                payload = "".join(
+                    json.dumps(_to_jsonable(r)) + "\n" for r in self._pending
+                )
+                with self.path.open("a") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            self._pending.clear()
+        fault = faults.fire("cache_flush", key=str(self.path))
+        if fault is not None and fault.action == "truncate" and self.path.exists():
+            size = self.path.stat().st_size
+            os.truncate(self.path, max(0, size - int(fault.param)))
+
+    def repair(self) -> bool:
+        """Force a clean atomic rewrite: JSONL, deduplicated (last write
+        wins), newline-terminated, corrupt lines dropped (they are
+        already in the quarantine sidecar).  Returns ``False`` when
+        there is nothing to write."""
+        if not self._data:
+            return False
+        self._rewrite_atomic()
         self._pending.clear()
+        return True
 
     def __enter__(self) -> "ResultCache":
         return self
@@ -312,3 +695,62 @@ class ResultCache:
 
     def __len__(self) -> int:
         return len(self._data)
+
+
+def verify_cache(path: str | Path) -> dict:
+    """Audit a cache file without modifying it.
+
+    Returns a report dict: ``format`` (``jsonl`` / ``legacy`` /
+    ``empty`` / ``missing``), ``records`` (valid), ``corrupt`` (list of
+    ``(lineno, reason)``), ``duplicate_keys``, ``statuses`` (histogram)
+    and ``clean`` (no corruption, no duplicates, proper trailing
+    newline).  Surfaced as ``repro cache verify``.
+    """
+    path = Path(path)
+    report: dict = {
+        "path": str(path),
+        "format": "missing",
+        "records": 0,
+        "corrupt": [],
+        "duplicate_keys": 0,
+        "statuses": {},
+        "clean": False,
+    }
+    if not path.exists():
+        return report
+    text = path.read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        report["format"] = "empty"
+        report["clean"] = True
+        return report
+    keys: dict[tuple, int] = {}
+    if stripped[0] == "[":
+        report["format"] = "legacy"
+        try:
+            records = load_results(path)
+        except ValueError as exc:
+            report["corrupt"].append((0, str(exc)))
+            records = []
+        for r in records:
+            keys[r.key] = keys.get(r.key, 0) + 1
+            report["statuses"][r.status] = report["statuses"].get(r.status, 0) + 1
+        report["records"] = len(records)
+    else:
+        report["format"] = "jsonl"
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            if not line.strip():
+                continue
+            try:
+                r = _record_from_dict(json.loads(line, parse_constant=_reject_nan))
+            except ValueError as exc:
+                report["corrupt"].append((lineno, str(exc)))
+            else:
+                keys[r.key] = keys.get(r.key, 0) + 1
+                report["statuses"][r.status] = report["statuses"].get(r.status, 0) + 1
+                report["records"] += 1
+        if not text.endswith("\n"):
+            report["corrupt"].append((text.count("\n") + 1, "missing trailing newline"))
+    report["duplicate_keys"] = sum(n - 1 for n in keys.values())
+    report["clean"] = not report["corrupt"] and report["duplicate_keys"] == 0
+    return report

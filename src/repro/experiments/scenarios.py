@@ -48,7 +48,27 @@ def network_builders() -> dict:
 def paper_chain(
     network: str, *, image_size: int = 1000, batch_size: int = 8
 ) -> Chain:
-    """Profiled, linearized chain of one of the paper's networks."""
+    """Profiled, linearized chain of one of the paper's networks.
+
+    Names of the form ``toy<L>`` (e.g. ``toy8``) build a uniform
+    synthetic chain of ``L`` layers instead — milliseconds to schedule,
+    deterministic, and buildable inside any sweep worker process.  They
+    exist for resilience tests and CI smoke sweeps, not for paper
+    figures.
+    """
+    if network.startswith("toy"):
+        try:
+            L = int(network[3:] or "8")
+        except ValueError:
+            raise ValueError(f"bad toy network name {network!r}; use e.g. 'toy8'") from None
+        if not 1 <= L <= 256:
+            raise ValueError(f"toy network size must be in 1..256, got {L}")
+        from ..models import uniform_chain
+
+        MB = float(2**20)
+        return uniform_chain(
+            L, u_f=0.001, u_b=0.002, weights=4 * MB, activation=8 * MB, name=network
+        )
     try:
         builder = _BUILDERS[network]
     except KeyError:

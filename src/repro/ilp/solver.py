@@ -24,7 +24,16 @@ are fixed, memory rows do not involve ``T``) — which the search exploits:
   incumbent (falling back to bisection when they keep succeeding).
 
 Every probe and LP jump is recorded as a :class:`ProbeRecord` with
-build/solve timings; ``repro schedule --stats`` surfaces the totals.
+build/solve timings and a ``status`` naming how it ended (``ok``,
+``incumbent``, ``timeout``, ``infeasible``, ``invalid``, ``error``);
+``repro schedule --stats`` surfaces the totals.  The search result
+itself carries a status: ``ok`` / ``infeasible`` are *certified*
+outcomes, while ``degraded`` (feasible, but a probe hit the HiGHS time
+limit, so the period may be improvable) and ``timeout`` (no schedule
+found, but infeasibility is **not** proven) record that the solver
+budget, not the mathematics, decided — callers such as
+:func:`repro.algorithms.madpipe.madpipe` use this to fall back to a
+certified 1F1B\\* schedule instead of silently reporting infeasible.
 The pre-skeleton bisection search is preserved verbatim in
 :mod:`repro.ilp.solver_reference` for benchmarking.
 """
@@ -39,8 +48,9 @@ from scipy.optimize import linprog, milp
 
 from ..core.chain import Chain
 from ..core.partition import Allocation
-from ..core.pattern import Op, PeriodicPattern
+from ..core.pattern import Op, PatternError, PeriodicPattern
 from ..core.platform import Platform
+from ..testing import faults
 from .formulation import MilpSkeleton, ScheduleMILP, build_milp, build_skeleton
 
 __all__ = [
@@ -59,22 +69,39 @@ GALLOP_FACTOR = 1.25
 
 @dataclass(frozen=True)
 class ProbeRecord:
-    """One step of the period search: a MILP probe or an LP re-optimization."""
+    """One step of the period search: a MILP probe or an LP re-optimization.
+
+    ``status`` records how the step ended: ``ok`` (solved), ``incumbent``
+    (HiGHS hit its time limit but had a feasible incumbent — accepted),
+    ``timeout`` (time limit with no incumbent — *not* a certificate of
+    infeasibility), ``infeasible`` (certified), ``invalid`` (solver
+    output failed pattern validation — treated as infeasible), or
+    ``error`` (numerical failure inside the LP/MILP).
+    """
 
     period: float
     feasible: bool
     build_s: float
     solve_s: float
     kind: str = "milp"  # "milp" feasibility probe | "lp" fixed-config jump
+    status: str = "ok"
 
 
 @dataclass
 class ILPScheduleResult:
-    """A valid periodic pattern found by the ILP, or infeasibility."""
+    """A valid periodic pattern found by the ILP, or infeasibility.
+
+    ``status``: ``ok`` (certified schedule, clean search), ``degraded``
+    (valid schedule, but at least one probe hit the time limit — the
+    period may be improvable), ``timeout`` (no schedule and at least one
+    probe hit the time limit — infeasibility unproven), ``infeasible``
+    (certified: no probe up to the sequential bound admits a pattern).
+    """
 
     period: float
     pattern: PeriodicPattern | None
     trace: list[ProbeRecord] = field(default_factory=list)
+    status: str = "ok"
 
     @property
     def probes(self) -> list[tuple[float, bool]]:
@@ -93,6 +120,8 @@ class ILPScheduleResult:
         return {
             "milp_probes": len(milp_probes),
             "lp_jumps": len(jumps),
+            "lp_failures": sum(1 for p in jumps if not p.feasible),
+            "milp_timeouts": sum(1 for p in milp_probes if p.status == "timeout"),
             "build_s": sum(p.build_s for p in self.trace),
             "solve_s": sum(p.solve_s for p in self.trace),
         }
@@ -126,8 +155,9 @@ def _solve_model(
     time_limit: float,
     *,
     feasibility_only: bool = True,
-) -> tuple[PeriodicPattern | None, np.ndarray | None]:
-    """Solve one fixed-period model; validated pattern + raw solution.
+) -> tuple[PeriodicPattern | None, np.ndarray | None, str]:
+    """Solve one fixed-period model; validated pattern + raw solution +
+    a probe status (see :class:`ProbeRecord`).
 
     Most probes are pure feasibility questions, so the model's
     min-in-flight objective is dropped (zero costs): HiGHS can stop at
@@ -137,7 +167,14 @@ def _solve_model(
     lower-bound probe keeps the objective (``feasibility_only=False``):
     on slack instances it is the whole search, and the objective steers
     HiGHS to a first incumbent ~3× faster there.
+
+    A time-limit hit *with* an incumbent still yields a usable pattern
+    (status ``incumbent``); without one it is ``timeout`` — explicitly
+    not a certificate of infeasibility.
     """
+    fault = faults.fire("milp_solve", key=f"T={model.period:.9g}")
+    if fault is not None and fault.action == "timeout":
+        return None, None, "timeout"  # injected HiGHS budget hit
     res = milp(
         np.zeros_like(model.c) if feasibility_only else model.c,
         constraints=model.constraints,
@@ -145,15 +182,19 @@ def _solve_model(
         bounds=model.bounds,
         options={"time_limit": time_limit, "presolve": True},
     )
-    if not res.success or res.x is None:
-        return None, None
+    if res.x is None:
+        if res.status == 1:
+            return None, None, "timeout"
+        if res.status == 2:
+            return None, None, "infeasible"
+        return None, None, "error"
     pattern = _extract_pattern(model, res.x, allocation)
     try:
         pattern.validate(chain, platform)
         pattern.check_memory(chain, platform, tol=1e-6)
-    except Exception:
-        return None, None  # numerical artifacts: treat as infeasible probe
-    return pattern, res.x
+    except PatternError:
+        return None, None, "invalid"  # numerical artifacts: infeasible probe
+    return pattern, res.x, ("ok" if res.success else "incumbent")
 
 
 def solve_fixed_period(
@@ -175,7 +216,7 @@ def solve_fixed_period(
         model = build_milp(chain, platform, allocation, period, skeleton=skeleton)
     except ValueError:
         return None  # static memory alone exceeds capacity
-    pattern, _ = _solve_model(chain, platform, allocation, model, time_limit)
+    pattern, _, _ = _solve_model(chain, platform, allocation, model, time_limit)
     return pattern
 
 
@@ -286,12 +327,24 @@ def schedule_allocation(
     lower = allocation.period_lower_bound(chain, platform)
     seq = _sequential_period(chain, platform, allocation)
     trace: list[ProbeRecord] = []
+
+    def result(period: float, pattern: PeriodicPattern | None) -> ILPScheduleResult:
+        # any time-limit hit means the outcome is budget-, not
+        # mathematics-limited: feasible → "degraded", infeasible →
+        # "timeout" (never a silent "infeasible")
+        timed_out = any(p.kind == "milp" and p.status == "timeout" for p in trace)
+        if pattern is not None:
+            status = "degraded" if timed_out else "ok"
+        else:
+            status = "timeout" if timed_out else "infeasible"
+        return ILPScheduleResult(period, pattern, trace, status)
+
     try:
         skeleton = build_skeleton(chain, platform, allocation)
     except ValueError:
         # static memory (weights+buffers) alone exceeds some GPU: no
         # period can ever be feasible
-        return ILPScheduleResult(INF, None, trace)
+        return result(INF, None)
     probe_skeleton = skeleton if reuse_skeleton else None
 
     memo: dict[float, bool] = {}
@@ -302,15 +355,23 @@ def schedule_allocation(
 
     def lp_jump(x: np.ndarray) -> None:
         t0 = time.perf_counter()
-        out = _reoptimize_period(skeleton, allocation, x, max(lower, state["lo"]))
+        jump_status = "ok"
+        try:
+            out = _reoptimize_period(skeleton, allocation, x, max(lower, state["lo"]))
+        except (ValueError, ArithmeticError, np.linalg.LinAlgError):
+            # SciPy rejects a malformed LP with ValueError; overflow /
+            # division artifacts surface as ArithmeticError subclasses
+            out, jump_status = None, "error"
+        if out is None and jump_status == "ok":
+            jump_status = "infeasible"
         if out is not None:
             T_lp, pattern = out
             if T_lp < state["hi"] * (1 - 1e-12):
                 try:
                     pattern.validate(chain, platform)
                     pattern.check_memory(chain, platform, tol=1e-6)
-                except Exception:
-                    out = None
+                except PatternError:
+                    out, jump_status = None, "invalid"
                 else:
                     state["hi"], state["pattern"] = T_lp, pattern
         trace.append(
@@ -320,6 +381,7 @@ def schedule_allocation(
                 build_s=0.0,
                 solve_s=time.perf_counter() - t0,
                 kind="lp",
+                status=jump_status,
             )
         )
 
@@ -329,7 +391,7 @@ def schedule_allocation(
         t0 = time.perf_counter()
         model = build_milp(chain, platform, allocation, T, skeleton=probe_skeleton)
         t1 = time.perf_counter()
-        pattern, x = _solve_model(
+        pattern, x, probe_status = _solve_model(
             chain, platform, allocation, model, time_limit,
             feasibility_only=feasibility_only,
         )
@@ -340,6 +402,7 @@ def schedule_allocation(
                 feasible=ok,
                 build_s=t1 - t0,
                 solve_s=time.perf_counter() - t1,
+                status=probe_status,
             )
         )
         memo[T] = ok
@@ -354,7 +417,7 @@ def schedule_allocation(
 
     # 1. the lower bound itself (roomy instances end here)
     if probe(lower, jump=False, feasibility_only=False):
-        return ILPScheduleResult(lower, state["pattern"], trace)
+        return result(lower, state["pattern"])
 
     # 2. bracket a feasible upper bound: 1F1B* hint, then an accelerating
     #    gallop from the lower bound, capped by the sequential period
@@ -381,9 +444,9 @@ def schedule_allocation(
         if probe(T):
             break
         if T >= seq:
-            return ILPScheduleResult(INF, None, trace)
+            return result(INF, None)
     if state["pattern"] is None:  # probe budget exhausted while bracketing
-        return ILPScheduleResult(INF, None, trace)
+        return result(INF, None)
 
     # 3. certify the gap: asymmetric probes just under the incumbent close
     #    it in one infeasible probe; repeated feasible ones (the incumbent
@@ -403,4 +466,4 @@ def schedule_allocation(
             streak += 1
         else:
             streak = 0
-    return ILPScheduleResult(state["hi"], state["pattern"], trace)
+    return result(state["hi"], state["pattern"])

@@ -20,6 +20,7 @@ from scipy.optimize import milp
 
 from ..core.chain import Chain
 from ..core.partition import Allocation
+from ..core.pattern import PatternError
 from ..core.platform import Platform
 from .formulation import build_milp
 from .solver import (
@@ -45,6 +46,7 @@ def _timed_probe(
     # feasibility-only; the baseline keeps the shipped behaviour).
     t0 = time.perf_counter()
     pattern = None
+    status = "infeasible"
     try:
         model = build_milp(chain, platform, allocation, period)
     except ValueError:
@@ -59,17 +61,21 @@ def _timed_probe(
         )
         if res.success and res.x is not None:
             pattern = _extract_pattern(model, res.x, allocation)
+            status = "ok"
             try:
                 pattern.validate(chain, platform)
                 pattern.check_memory(chain, platform, tol=1e-6)
-            except Exception:
-                pattern = None
+            except PatternError:
+                pattern, status = None, "invalid"
+        elif res.status == 1:
+            status = "timeout"  # budget hit, infeasibility unproven
     trace.append(
         ProbeRecord(
             period=period,
             feasible=pattern is not None,
             build_s=0.0,
             solve_s=time.perf_counter() - t0,
+            status=status,
         )
     )
     return pattern
@@ -93,13 +99,21 @@ def schedule_allocation_reference(
     upper = _sequential_period(chain, platform, allocation)
     trace: list[ProbeRecord] = []
 
+    def result(period: float, pattern) -> ILPScheduleResult:
+        timed_out = any(p.status == "timeout" for p in trace)
+        if pattern is not None:
+            status = "degraded" if timed_out else "ok"
+        else:
+            status = "timeout" if timed_out else "infeasible"
+        return ILPScheduleResult(period, pattern, trace, status)
+
     best = _timed_probe(chain, platform, allocation, lower, time_limit, trace)
     if best is not None:
-        return ILPScheduleResult(lower, best, trace)
+        return result(lower, best)
 
     pattern = _timed_probe(chain, platform, allocation, upper, time_limit, trace)
     if pattern is None:
-        return ILPScheduleResult(float("inf"), None, trace)
+        return result(float("inf"), None)
     best, best_T = pattern, upper
 
     lo, hi = lower, upper
@@ -111,4 +125,4 @@ def schedule_allocation_reference(
             hi = mid
         else:
             lo = mid
-    return ILPScheduleResult(best_T, best, trace)
+    return result(best_T, best)

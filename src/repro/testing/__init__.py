@@ -1,0 +1,5 @@
+"""Test-support utilities shipped with the package (fault injection)."""
+
+from .faults import Fault, FaultInjected, active, clear, fire, install
+
+__all__ = ["Fault", "FaultInjected", "active", "clear", "fire", "install"]

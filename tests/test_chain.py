@@ -137,3 +137,23 @@ class TestSubchainAndSerialization:
     def test_prefix_sums_finite(self, cnnlike16):
         assert math.isfinite(cnnlike16.total_compute())
         assert cnnlike16.total_compute() > 0
+
+
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize("field", ["u_f", "u_b", "weights", "activation"])
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_layer_rejects_non_finite(self, field, bad):
+        kwargs = dict(u_f=1.0, u_b=2.0, weights=3.0, activation=4.0)
+        kwargs[field] = bad
+        with pytest.raises(ValueError, match="non-finite"):
+            LayerProfile("x", **kwargs)
+
+    def test_layer_rejects_non_numbers(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            LayerProfile("x", u_f="fast", u_b=1.0, weights=1.0, activation=1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), "big", None])
+    def test_chain_rejects_bad_input_activation(self, bad):
+        layers = [LayerProfile("a", 1.0, 2.0, 1.0, 1.0)]
+        with pytest.raises(ValueError):
+            Chain(layers=layers, input_activation=bad)

@@ -32,3 +32,20 @@ class TestPlatform:
         p = Platform.of(2, 4, 12)
         with pytest.raises(AttributeError):
             p.n_procs = 3
+
+
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_procs=2, memory=float("nan"), bandwidth=1.0),
+            dict(n_procs=2, memory=float("inf"), bandwidth=1.0),
+            dict(n_procs=2, memory=1.0, bandwidth=float("nan")),
+            dict(n_procs=2, memory=1.0, bandwidth=float("-inf")),
+            dict(n_procs=2, memory="lots", bandwidth=1.0),
+            dict(n_procs=None, memory=1.0, bandwidth=1.0),
+        ],
+    )
+    def test_non_finite_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Platform(**kwargs)
