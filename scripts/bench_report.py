@@ -12,7 +12,10 @@ change.
 * ``--suite phase2`` → ``BENCH_phase2.json`` via
   ``benchmarks/bench_phase2_hotpath.py`` (ILP period search and the
   1F1B\\* kernel vs their references);
-* ``--suite all`` (default) → both.
+* ``--suite obs`` → ``BENCH_obs.json`` via
+  ``benchmarks/bench_obs_overhead.py`` (instrumentation cost of the
+  observability layer in disabled/metrics/traced modes);
+* ``--suite all`` (default) → all of the above.
 
 Usage::
 
@@ -37,6 +40,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_dp_hotpath  # noqa: E402
+import bench_obs_overhead  # noqa: E402
 import bench_phase2_hotpath  # noqa: E402
 
 
@@ -93,6 +97,25 @@ def run_phase2(smoke: bool, out_dir: Path) -> None:
     print(f"wrote {out}\n")
 
 
+def run_obs(smoke: bool, out_dir: Path) -> None:
+    if smoke:
+        runs = [
+            bench_obs_overhead.bench_dp("toy8", repeats=1, iterations=4),
+            bench_obs_overhead.bench_onef1b("toy8", calls=50, repeats=1),
+        ]
+    else:
+        runs = bench_obs_overhead.bench_all()
+    out = out_dir / "BENCH_obs.json"
+    out.write_text(json.dumps(_payload(smoke, runs), indent=1) + "\n")
+    for r in runs:
+        print(
+            f"{r['bench']:>8} {r['network']:>10}: disabled {r['disabled_s']:.4f}s"
+            f" metrics {r['metrics_s']:.4f}s traced {r['traced_s']:.4f}s"
+            f" (traced/disabled {r['overhead_traced']:.2f}x)"
+        )
+    print(f"wrote {out}\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -102,7 +125,7 @@ def main() -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("dp", "phase2", "all"),
+        choices=("dp", "phase2", "obs", "all"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -116,6 +139,8 @@ def main() -> int:
         run_dp(args.smoke, out_dir)
     if args.suite in ("phase2", "all"):
         run_phase2(args.smoke, out_dir)
+    if args.suite in ("obs", "all"):
+        run_obs(args.smoke, out_dir)
     return 0
 
 

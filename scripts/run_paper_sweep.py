@@ -9,10 +9,14 @@ in ``solver_timeout``/``error``.  Crashed or deadline-blowing instances
 are retried ``--max-retries`` times with exponential backoff before the
 sweep records a typed error result and moves on.
 
+All runtime flags are the canonical sweep options shared with
+``repro sweep`` (defined once in :func:`repro.cli.sweep_options`); this
+script only adds ``--fast`` and fixes the grid axes to the paper's.
+
 Usage::
 
-    python scripts/run_paper_sweep.py [--fast] [--resume]
-        [--max-retries N] [--instance-timeout S]
+    python scripts/run_paper_sweep.py [--fast] [--resume] [--workers N]
+        [--max-retries N] [--instance-timeout S] [--trace PATH]
 """
 
 from __future__ import annotations
@@ -22,7 +26,9 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.algorithms import Discretization
+from repro.cli import sweep_options
 from repro.experiments import (
     FIG8_PROCS,
     PAPER_BANDWIDTHS_GBPS,
@@ -35,77 +41,67 @@ from repro.experiments import (
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[sweep_options()]
+    )
     parser.add_argument(
         "--fast", action="store_true", help="reduced grid for quick checks"
     )
     parser.add_argument(
         "--out", default="results/paper_grid.json", help="cache file path"
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="fan instances out over N worker processes (1 = serial)",
-    )
-    parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="also re-run cached instances that ended in solver_timeout/error",
-    )
-    parser.add_argument(
-        "--max-retries",
-        type=int,
-        default=2,
-        help="retries per crashed/timed-out instance before recording an error",
-    )
-    parser.add_argument(
-        "--instance-timeout",
-        type=float,
-        default=None,
-        metavar="S",
-        help="per-instance wall-clock deadline enforced inside the worker",
-    )
+    # paper defaults: keep going on exhausted instances, record them typed
+    parser.set_defaults(on_error="record")
     args = parser.parse_args()
 
     Path(args.out).parent.mkdir(parents=True, exist_ok=True)
-    cache = ResultCache(args.out, flush_every=8)
-    grid = Discretization.coarse()
+    cache = ResultCache(args.out, flush_every=args.flush_every)
+    registry = obs.MetricsRegistry()
     kwargs = dict(
-        grid=grid,
-        iterations=8,
-        ilp_time_limit=30.0,
+        grid=getattr(Discretization, args.grid)(),
+        iterations=args.iterations,
+        ilp_time_limit=args.ilp_time_limit,
         cache=cache,
-        verbose=True,
+        verbose=not args.quiet,
         n_workers=args.workers,
         retry_failed=args.resume,
         max_retries=args.max_retries,
         instance_timeout=args.instance_timeout,
-        on_exhausted="record",
+        on_exhausted=args.on_error,
+        trace_path=args.trace,
     )
 
     t0 = time.time()
-    if args.fast:
-        run_grid(("resnet50",), (2, 4), (4.0, 8.0, 16.0), (12.0,), **kwargs)
-    else:
-        # Figs. 6 & 7: full (network, P, M, beta) grid
-        run_grid(
-            PAPER_NETWORKS,
-            PAPER_PROCS,
-            tuple(float(m) for m in PAPER_MEMORIES_GB),
-            tuple(float(b) for b in PAPER_BANDWIDTHS_GBPS),
-            **kwargs,
-        )
-        # Fig. 8: intermediate processor counts at beta = 12
-        extra_procs = tuple(p for p in FIG8_PROCS if p not in PAPER_PROCS)
-        run_grid(
-            PAPER_NETWORKS,
-            extra_procs,
-            (4.0, 8.0, 12.0, 16.0),
-            (12.0,),
-            **kwargs,
-        )
+    with obs.use_metrics(registry):
+        if args.fast:
+            run_grid(("resnet50",), (2, 4), (4.0, 8.0, 16.0), (12.0,), **kwargs)
+        else:
+            # Figs. 6 & 7: full (network, P, M, beta) grid
+            run_grid(
+                PAPER_NETWORKS,
+                PAPER_PROCS,
+                tuple(float(m) for m in PAPER_MEMORIES_GB),
+                tuple(float(b) for b in PAPER_BANDWIDTHS_GBPS),
+                **kwargs,
+            )
+            # Fig. 8: intermediate processor counts at beta = 12
+            extra_procs = tuple(p for p in FIG8_PROCS if p not in PAPER_PROCS)
+            run_grid(
+                PAPER_NETWORKS,
+                extra_procs,
+                (4.0, 8.0, 12.0, 16.0),
+                (12.0,),
+                **kwargs,
+            )
     print(f"sweep done in {time.time() - t0:.0f}s, {len(cache)} cached instances")
+    if not args.quiet and len(registry):
+        counters = registry.counters()
+        print(
+            "counters: "
+            + " ".join(f"{k}={v}" for k, v in sorted(counters.items())[:8])
+        )
+    if args.trace:
+        print(f"trace: {args.trace} (see 'repro trace summary {args.trace}')")
     return 0
 
 

@@ -1,22 +1,29 @@
 """MadPipe reproduction — memory-aware pipelined model parallelism.
 
-Public API tour::
+Public API tour (see also :mod:`repro.api`, the stable facade)::
 
-    from repro import (
-        Chain, Platform, madpipe, pipedream, min_feasible_period,
-        resnet50, linearize, profile_model, V100, verify_pattern,
-    )
+    import repro
 
-    graph = resnet50(image_size=1000)
-    profile_model(graph, V100, batch_size=8)
-    chain = linearize(graph)
-    platform = Platform.of(n_procs=4, memory_gb=8, bandwidth_gbps=12)
+    graph = repro.resnet50(image_size=1000)
+    repro.profile_model(graph, repro.V100, batch_size=8)
+    chain = repro.linearize(graph)
+    platform = repro.Platform.of(n_procs=4, memory_gb=8, bandwidth_gbps=12)
 
-    result = madpipe(chain, platform)
-    print(result.period, result.allocation)
-    verify_pattern(chain, platform, result.pattern)
+    result = repro.plan(chain, platform, algorithm="madpipe", trace=True)
+    print(result.period, result.status)
+    repro.verify_pattern(chain, platform, result.pattern)
+    repro.obs.write_chrome_trace(result.trace, "plan.json")
+
+Deprecated top-level names (``repro.madpipe``,
+``repro.schedule_allocation``) still resolve — through a module
+``__getattr__`` that emits one :class:`DeprecationWarning` per name per
+process — but new code should go through :func:`repro.api.plan` or
+import the algorithm modules directly.
 """
 
+import warnings as _warnings
+
+from . import api, obs
 from .algorithms import (
     Discretization,
     MadPipeResult,
@@ -24,11 +31,11 @@ from .algorithms import (
     algorithm1,
     gpipe,
     hybrid,
-    madpipe,
     madpipe_dp,
     min_feasible_period,
     pipedream,
 )
+from .api import PlanResult, SweepResult, SweepSpec, plan, sweep
 from .core import (
     GB,
     GBPS,
@@ -42,7 +49,6 @@ from .core import (
     Stage,
     stage_memory,
 )
-from .ilp import schedule_allocation
 from .models import (
     coarsen,
     densenet121,
@@ -58,9 +64,52 @@ from .profiling import V100, DeviceSpec, load_chain, profile_model, save_chain
 from .sim import eager_1f1b, simulate, verify_pattern
 from .viz import render_gantt
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Deprecated top-level re-exports and where they now live.
+_DEPRECATED = {
+    "madpipe": ("repro.algorithms.madpipe", "madpipe"),
+    "schedule_allocation": ("repro.ilp.solver", "schedule_allocation"),
+}
+#: Names that have already warned this process (tests reset this).
+_DEPRECATION_WARNED: set = set()
+
+
+def __getattr__(name: str):
+    """Resolve deprecated top-level names lazily, warning once per name.
+
+    The resolved object is cached into the module namespace, so the
+    second access never re-enters this hook (and never re-warns).
+    """
+    try:
+        mod_name, attr = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if name not in _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED.add(name)
+        _warnings.warn(
+            f"'repro.{name}' is deprecated; use repro.api.plan(...) or "
+            f"import it from {mod_name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(mod_name), attr)
+    globals()[name] = value
+    return value
+
 
 __all__ = [
+    "api",
+    "obs",
+    "plan",
+    "sweep",
+    "PlanResult",
+    "SweepResult",
+    "SweepSpec",
     "Discretization",
     "MadPipeResult",
     "PipeDreamResult",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.chain import Chain
 from ..core.partition import Allocation
 from ..core.pattern import PeriodicPattern
@@ -83,87 +84,116 @@ def madpipe(
     contiguous_fallback: bool = True,
 ) -> MadPipeResult:
     """Run the complete MadPipe pipeline on one (chain, platform) instance."""
-    phase1 = algorithm1(
-        chain, platform, iterations=iterations, grid=grid, allow_special=allow_special
-    )
-    result = MadPipeResult(phase1=phase1, allocation=None, pattern=None)
-
-    if phase1.feasible:
-        allocation = phase1.allocation.to_allocation(platform)
-        if allocation.is_contiguous():
-            # 1F1B* is optimal for contiguous allocations — no ILP needed
-            sched = min_feasible_period(chain, platform, allocation.partitioning)
-            if sched is not None:
-                result.allocation = allocation
-                result.pattern = sched.pattern
-                result.period = sched.period
-                result.notes.append("phase-1 contiguous allocation via 1F1B*")
-            else:
-                result.notes.append("1F1B* infeasible for phase-1 allocation")
-        else:
-            ilp = schedule_allocation(
-                chain, platform, allocation, time_limit=ilp_time_limit
+    with obs.span(
+        "madpipe", n_procs=platform.n_procs, chain=chain.name, L=chain.L
+    ) as run_span:
+        with obs.span("madpipe.phase1"):
+            phase1 = algorithm1(
+                chain,
+                platform,
+                iterations=iterations,
+                grid=grid,
+                allow_special=allow_special,
             )
-            result.ilp = ilp
-            if ilp.feasible:
-                result.allocation = allocation
-                result.pattern = ilp.pattern
-                result.period = ilp.period
-                result.notes.append("phase-1 non-contiguous allocation via ILP")
-            else:
-                result.notes.append(
-                    f"ILP could not schedule phase-1 allocation ({ilp.status})"
-                )
-                if ilp.status == "timeout" and allocation.n_stages <= platform.n_procs:
-                    # the MILP ran out of budget without proving anything;
-                    # fall back to the certified 1F1B* schedule of the
-                    # allocation's contiguous restriction instead of
-                    # reporting infeasible
+        result = MadPipeResult(phase1=phase1, allocation=None, pattern=None)
+
+        if phase1.feasible:
+            allocation = phase1.allocation.to_allocation(platform)
+            if allocation.is_contiguous():
+                # 1F1B* is optimal for contiguous allocations — no ILP needed
+                with obs.span("madpipe.phase2", kind="onef1b"):
                     sched = min_feasible_period(
                         chain, platform, allocation.partitioning
                     )
-                    if sched is not None:
-                        result.allocation = Allocation.contiguous(
-                            allocation.partitioning
-                        )
-                        result.pattern = sched.pattern
-                        result.period = sched.period
-                        result.notes.append(
-                            "ILP time budget exhausted; fell back to the "
-                            "certified 1F1B* contiguous restriction"
-                        )
-    else:
-        result.notes.append("phase 1 found no memory-feasible allocation")
+                if sched is not None:
+                    result.allocation = allocation
+                    result.pattern = sched.pattern
+                    result.period = sched.period
+                    result.notes.append("phase-1 contiguous allocation via 1F1B*")
+                else:
+                    result.notes.append("1F1B* infeasible for phase-1 allocation")
+            else:
+                with obs.span("madpipe.phase2", kind="ilp"):
+                    ilp = schedule_allocation(
+                        chain, platform, allocation, time_limit=ilp_time_limit
+                    )
+                result.ilp = ilp
+                if ilp.feasible:
+                    result.allocation = allocation
+                    result.pattern = ilp.pattern
+                    result.period = ilp.period
+                    result.notes.append("phase-1 non-contiguous allocation via ILP")
+                else:
+                    result.notes.append(
+                        f"ILP could not schedule phase-1 allocation ({ilp.status})"
+                    )
+                    if (
+                        ilp.status == "timeout"
+                        and allocation.n_stages <= platform.n_procs
+                    ):
+                        # the MILP ran out of budget without proving anything;
+                        # fall back to the certified 1F1B* schedule of the
+                        # allocation's contiguous restriction instead of
+                        # reporting infeasible
+                        obs.inc("madpipe.ilp_fallbacks")
+                        with obs.span("madpipe.phase2", kind="onef1b_fallback"):
+                            sched = min_feasible_period(
+                                chain, platform, allocation.partitioning
+                            )
+                        if sched is not None:
+                            result.allocation = Allocation.contiguous(
+                                allocation.partitioning
+                            )
+                            result.pattern = sched.pattern
+                            result.period = sched.period
+                            result.notes.append(
+                                "ILP time budget exhausted; fell back to the "
+                                "certified 1F1B* contiguous restriction"
+                            )
+        else:
+            result.notes.append("phase 1 found no memory-feasible allocation")
 
-    if contiguous_fallback and allow_special:
-        # MadPipe's contiguous restriction (no special processor): the DP's
-        # memory model is exact for 1F1B*, so this candidate's estimate is
-        # reliable; keep it when it beats the ILP schedule.
-        contig = algorithm1(
-            chain, platform, iterations=iterations, grid=grid, allow_special=False
-        )
-        if contig.feasible:
-            alloc = contig.allocation.to_allocation(platform)
-            sched = min_feasible_period(chain, platform, alloc.partitioning)
+        if contiguous_fallback and allow_special:
+            # MadPipe's contiguous restriction (no special processor): the DP's
+            # memory model is exact for 1F1B*, so this candidate's estimate is
+            # reliable; keep it when it beats the ILP schedule.
+            with obs.span("madpipe.contiguous_fallback"):
+                contig = algorithm1(
+                    chain,
+                    platform,
+                    iterations=iterations,
+                    grid=grid,
+                    allow_special=False,
+                )
+                sched = None
+                if contig.feasible:
+                    alloc = contig.allocation.to_allocation(platform)
+                    sched = min_feasible_period(chain, platform, alloc.partitioning)
             if sched is not None and sched.period < result.period:
                 result.allocation = alloc
                 result.pattern = sched.pattern
                 result.period = sched.period
                 result.notes.append("contiguous memory-aware candidate won")
 
-    # classify the outcome: any phase-2 budget hit taints the result
-    ilp_budget_hit = result.ilp is not None and result.ilp.status in (
-        "timeout",
-        "degraded",
-    )
-    if result.pattern is None:
-        result.status = (
-            "solver_timeout"
-            if result.ilp is not None and result.ilp.status == "timeout"
-            else "infeasible"
+        # classify the outcome: any phase-2 budget hit taints the result
+        ilp_budget_hit = result.ilp is not None and result.ilp.status in (
+            "timeout",
+            "degraded",
         )
-    elif ilp_budget_hit:
-        result.status = "degraded"
-    else:
-        result.status = "ok"
+        if result.pattern is None:
+            result.status = (
+                "solver_timeout"
+                if result.ilp is not None and result.ilp.status == "timeout"
+                else "infeasible"
+            )
+        elif ilp_budget_hit:
+            result.status = "degraded"
+        else:
+            result.status = "ok"
+        run_span.set(
+            status=result.status,
+            period=result.period if result.period != INF else None,
+        )
+    obs.inc("madpipe.runs")
+    obs.inc(f"madpipe.status.{result.status}")
     return result

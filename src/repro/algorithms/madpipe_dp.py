@@ -64,6 +64,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core.chain import Chain
 from ..core.partition import Allocation, Partitioning, Stage
 from ..core.platform import Platform
@@ -563,29 +564,54 @@ def algorithm1(
     ub = chain.total_compute() + chain.total_comm(platform.bandwidth)
     That = lb
     best = Algorithm1Result(INF, That, None)
-    for _ in range(iterations):
-        res = dp(
-            chain,
-            platform,
-            That,
-            grid=grid,
-            period_cap=min(best.period, ub * (1 + 1e-9)) if best.feasible else INF,
-            allow_special=allow_special,
+    with obs.span(
+        "madpipe.algorithm1", iterations=iterations, allow_special=allow_special
+    ) as search_span:
+        for _ in range(iterations):
+            with obs.span("madpipe.dp", target=That) as probe_span:
+                res = dp(
+                    chain,
+                    platform,
+                    That,
+                    grid=grid,
+                    period_cap=min(best.period, ub * (1 + 1e-9))
+                    if best.feasible
+                    else INF,
+                    allow_special=allow_special,
+                )
+                probe_span.set(
+                    period=res.dp_period if res.dp_period != INF else None,
+                    states=res.states,
+                    pruned_cap=res.pruned_cap,
+                    pruned_mem=res.pruned_mem,
+                    feasible=res.feasible,
+                )
+            T = res.dp_period
+            best.history.append((That, T))
+            best.states += res.states
+            best.pruned_cap += res.pruned_cap
+            best.pruned_mem += res.pruned_mem
+            if res.feasible and res.effective_period < best.period:
+                best.period = res.effective_period
+                best.target = That
+                best.allocation = res.allocation
+            lb = max(lb, min(T, That))
+            ub = min(ub, max(T, That))
+            if ub <= lb * (1 + 1e-9):
+                That = ub
+            else:
+                That = (lb + ub) / 2
+        search_span.set(
+            period=best.period if best.period != INF else None,
+            target=best.target,
+            states=best.states,
+            feasible=best.feasible,
         )
-        T = res.dp_period
-        best.history.append((That, T))
-        best.states += res.states
-        best.pruned_cap += res.pruned_cap
-        best.pruned_mem += res.pruned_mem
-        if res.feasible and res.effective_period < best.period:
-            best.period = res.effective_period
-            best.target = That
-            best.allocation = res.allocation
-        lb = max(lb, min(T, That))
-        ub = min(ub, max(T, That))
-        if ub <= lb * (1 + 1e-9):
-            That = ub
-        else:
-            That = (lb + ub) / 2
     best.wall_time_s = time.perf_counter() - t0
+    obs.inc("dp.searches")
+    obs.inc("dp.probes", len(best.history))
+    obs.inc("dp.states", best.states)
+    obs.inc("dp.pruned_cap", best.pruned_cap)
+    obs.inc("dp.pruned_mem", best.pruned_mem)
+    obs.inc("dp.wall_s", best.wall_time_s)
     return best

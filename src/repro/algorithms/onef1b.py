@@ -34,6 +34,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.chain import Chain
+from ..obs.metrics import active_metrics
+from ..obs.trace import active_trace
 from ..core.partition import Allocation, Partitioning
 from ..core.pattern import Op, PeriodicPattern, gpu, link
 from ..core.platform import Platform
@@ -251,6 +253,43 @@ def min_feasible_period(
 ) -> OneF1BResult | None:
     """Smallest period at which the 1F1B\\* schedule of ``partitioning``
     fits in memory on every GPU; ``None`` if no period works.
+
+    Instrumented: emits a ``onef1b.period_search`` span and
+    ``onef1b.searches`` counter when tracing/metrics are active.  This
+    is the innermost loop of every contiguous planner, so the disabled
+    path is guarded with a single context-variable read before any span
+    machinery runs.
+    """
+    tr = active_trace()
+    reg = active_metrics()
+    if tr is None and reg is None:
+        return _min_feasible_period(chain, platform, partitioning, build=build)
+    if reg is not None:
+        reg.inc("onef1b.searches")
+    if tr is None:
+        res = _min_feasible_period(chain, platform, partitioning, build=build)
+    else:
+        with tr.span(
+            "onef1b.period_search", n_stages=partitioning.n_stages, build=build
+        ) as sp:
+            res = _min_feasible_period(chain, platform, partitioning, build=build)
+            sp.set(
+                feasible=res is not None,
+                period=res.period if res is not None else None,
+            )
+    if res is not None and reg is not None:
+        reg.inc("onef1b.feasible")
+    return res
+
+
+def _min_feasible_period(
+    chain: Chain,
+    platform: Platform,
+    partitioning: Partitioning,
+    *,
+    build: bool = True,
+) -> OneF1BResult | None:
+    """The uninstrumented search; see :func:`min_feasible_period`.
 
     Candidate periods are the group-structure breakpoints: sums of item
     loads over contiguous item ranges (grouping only changes there), plus

@@ -1,0 +1,279 @@
+"""The stable public API facade.
+
+This module is the supported way in:
+
+* :func:`plan` — run one planning algorithm on one (chain, platform)
+  instance and get a uniform :class:`PlanResult` back, with optional
+  tracing/metrics;
+* :func:`sweep` — run one or more scenario grids through the resilient
+  experiment harness and get a :class:`SweepResult` back;
+* :func:`load_chain` — re-exported profile loader, so a typical script
+  needs nothing beyond ``repro.api``.
+
+Everything here delegates to the underlying algorithm modules without
+altering numerics: ``plan(chain, platform, algorithm="madpipe")``
+returns bit-identical periods/patterns to calling
+:func:`repro.algorithms.madpipe.madpipe` directly.  The deeper modules
+remain importable, but their top-level re-exports (``repro.madpipe``,
+``repro.schedule_allocation``) are deprecated in favor of this facade —
+see the deprecation policy in the README.
+
+Observability::
+
+    result = plan(chain, platform, trace=True)
+    obs.write_chrome_trace(result.trace, "plan.json")
+    print(result.metrics["dp.states"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from . import obs
+from .algorithms.gpipe import gpipe
+from .algorithms.madpipe import madpipe
+from .algorithms.pipedream import pipedream
+from .core.chain import Chain
+from .core.pattern import PeriodicPattern
+from .core.platform import Platform
+from .experiments.harness import ResultCache, RunResult, run_grid
+from .profiling import load_chain
+
+__all__ = [
+    "ALGORITHMS",
+    "PlanResult",
+    "SweepResult",
+    "SweepSpec",
+    "load_chain",
+    "plan",
+    "sweep",
+]
+
+#: Algorithms :func:`plan` dispatches on.
+ALGORITHMS = ("madpipe", "pipedream", "gpipe")
+
+INF = float("inf")
+
+
+@dataclass
+class PlanResult:
+    """Uniform outcome of :func:`plan`, independent of the algorithm.
+
+    ``raw`` carries the algorithm's native result object
+    (:class:`~repro.algorithms.madpipe.MadPipeResult`,
+    :class:`~repro.algorithms.pipedream.PipeDreamResult` or
+    :class:`~repro.algorithms.gpipe.GPipeResult`) for anything the
+    uniform fields do not cover.  ``metrics`` is the run's counter
+    snapshot; ``trace`` is populated when tracing was requested.
+    """
+
+    algorithm: str
+    period: float
+    dp_period: float
+    pattern: PeriodicPattern | None
+    status: str
+    raw: Any
+    metrics: dict[str, float] = field(default_factory=dict)
+    trace: "obs.Trace | None" = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.period != INF
+
+
+def plan(
+    chain: Chain,
+    platform: Platform,
+    *,
+    algorithm: str = "madpipe",
+    trace: "obs.Trace | bool | None" = None,
+    **opts: Any,
+) -> PlanResult:
+    """Plan one (chain, platform) instance with the chosen algorithm.
+
+    ``trace=True`` records a fresh :class:`repro.obs.Trace` onto the
+    result; passing an existing ``Trace`` appends to it instead.  Extra
+    keyword arguments go to the algorithm verbatim (``iterations``,
+    ``grid``, ``ilp_time_limit``, ``allow_special``,
+    ``contiguous_fallback`` for MadPipe; ``micro_batches`` for GPipe),
+    so results match the direct calls bit for bit.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    if trace is True:
+        tr = obs.Trace(f"plan:{algorithm}")
+    elif isinstance(trace, obs.Trace):  # note: an empty Trace is falsy
+        tr = trace
+    elif trace in (None, False):
+        tr = None
+    else:
+        raise TypeError(f"trace must be a Trace, True or None, not {trace!r}")
+    registry = obs.MetricsRegistry()
+    outer = obs.active_metrics()
+    with obs.use_metrics(registry):
+        if tr is not None:
+            with obs.use_trace(tr):
+                result = _dispatch(chain, platform, algorithm, opts)
+        else:
+            result = _dispatch(chain, platform, algorithm, opts)
+    if outer is not None:
+        outer.merge(registry.snapshot())
+    result.metrics = registry.snapshot()
+    result.trace = tr
+    return result
+
+
+def _dispatch(
+    chain: Chain, platform: Platform, algorithm: str, opts: dict
+) -> PlanResult:
+    if algorithm == "madpipe":
+        res = madpipe(chain, platform, **opts)
+        return PlanResult(
+            algorithm=algorithm,
+            period=res.period,
+            dp_period=res.dp_period,
+            pattern=res.pattern,
+            status=res.status,
+            raw=res,
+        )
+    if algorithm == "pipedream":
+        res = pipedream(chain, platform, **opts)
+        return PlanResult(
+            algorithm=algorithm,
+            period=res.period,
+            dp_period=res.dp_period,
+            pattern=res.schedule.pattern if res.schedule is not None else None,
+            status="ok" if res.period != INF else "infeasible",
+            raw=res,
+        )
+    res = gpipe(chain, platform, **opts)
+    return PlanResult(
+        algorithm=algorithm,
+        period=res.period,
+        dp_period=res.period,  # GPipe has no separate optimizer estimate
+        pattern=None,  # fill-drain rounds, not a periodic pattern
+        status="ok" if res.feasible else "infeasible",
+        raw=res,
+    )
+
+
+# ------------------------------------------------------------------ sweeps
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One scenario grid: the cross product of every axis.
+
+    Accepted wherever :func:`sweep` takes specs; scalars are fine on any
+    axis (``SweepSpec("vgg16", 4, 8.0, 12.0)`` is a single instance per
+    algorithm).
+    """
+
+    networks: tuple[str, ...]
+    procs: tuple[int, ...]
+    memories_gb: tuple[float, ...]
+    bandwidths_gbps: tuple[float, ...]
+    algorithms: tuple[str, ...] = ("pipedream", "madpipe")
+
+    def __init__(self, networks, procs, memories_gb, bandwidths_gbps,
+                 algorithms=("pipedream", "madpipe")):
+        object.__setattr__(self, "networks", _tup(networks, str))
+        object.__setattr__(self, "procs", _tup(procs, int))
+        object.__setattr__(self, "memories_gb", _tup(memories_gb, float))
+        object.__setattr__(self, "bandwidths_gbps", _tup(bandwidths_gbps, float))
+        object.__setattr__(self, "algorithms", _tup(algorithms, str))
+
+
+def _tup(value, kind) -> tuple:
+    if isinstance(value, (str, int, float)):
+        return (kind(value),)
+    return tuple(kind(v) for v in value)
+
+
+def _as_spec(spec: "SweepSpec | Mapping | Sequence") -> SweepSpec:
+    if isinstance(spec, SweepSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return SweepSpec(**spec)
+    if isinstance(spec, Sequence) and not isinstance(spec, str):
+        return SweepSpec(*spec)
+    raise TypeError(
+        f"cannot interpret {type(spec).__name__} as a sweep spec; "
+        "pass a SweepSpec, a mapping of its fields, or a "
+        "(networks, procs, memories_gb, bandwidths_gbps[, algorithms]) sequence"
+    )
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`sweep`: flat results plus the metrics snapshot."""
+
+    results: list[RunResult]
+    specs: list[SweepSpec]
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def statuses(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.results:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def sweep(
+    specs: "SweepSpec | Mapping | Sequence | Iterable",
+    *,
+    cache: "ResultCache | str | Path | None" = None,
+    trace_path: "str | Path | None" = None,
+    **opts: Any,
+) -> SweepResult:
+    """Run one or more scenario grids through the resilient harness.
+
+    ``specs`` is a single spec or an iterable of them (see
+    :class:`SweepSpec` for the accepted forms).  ``cache`` takes a
+    ready :class:`ResultCache` or just a path.  Remaining keyword
+    arguments pass straight to :func:`repro.experiments.run_grid`
+    (``n_workers``, ``instance_timeout``, ``max_retries``,
+    ``retry_failed``, ``on_exhausted``, ``iterations``, ``grid``,
+    ``ilp_time_limit``, ``verbose``); ``trace_path`` streams
+    per-instance span trees to a JSONL file.
+    """
+    if isinstance(specs, (SweepSpec, Mapping)) or (
+        isinstance(specs, Sequence)
+        and specs
+        and isinstance(specs[0], (str, int, float))
+    ):
+        spec_list = [_as_spec(specs)]
+    elif isinstance(specs, Iterable) and not isinstance(specs, str):
+        spec_list = [_as_spec(s) for s in specs]
+    else:
+        spec_list = [_as_spec(specs)]  # raises the descriptive TypeError
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    registry = obs.MetricsRegistry()
+    outer = obs.active_metrics()
+    results: list[RunResult] = []
+    with obs.use_metrics(registry):
+        for spec in spec_list:
+            results.extend(
+                run_grid(
+                    spec.networks,
+                    spec.procs,
+                    spec.memories_gb,
+                    spec.bandwidths_gbps,
+                    algorithms=spec.algorithms,
+                    cache=cache,
+                    trace_path=trace_path,
+                    **opts,
+                )
+            )
+    if outer is not None:
+        outer.merge(registry.snapshot())
+    return SweepResult(results=results, specs=spec_list, metrics=registry.snapshot())

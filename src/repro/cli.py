@@ -5,15 +5,28 @@ Usage::
     python -m repro profile resnet50 --image-size 1000 --batch 8 -o rn50.json
     python -m repro report rn50.json --top 10
     python -m repro schedule rn50.json -p 4 -m 8 -b 12 --gantt -o sched.json
+    python -m repro schedule rn50.json -p 4 -m 8 --trace trace.json --stats
+    python -m repro trace summary trace.json
     python -m repro sweep --networks toy8 --procs 2 4 --out grid.jsonl --resume
     python -m repro cache verify grid.jsonl --fix
+
+The sweep runtime flags (``--workers``, ``--resume``, ``--max-retries``,
+``--instance-timeout``, ``--on-error``, ``--grid``, ``--iterations``,
+``--ilp-time-limit``, ``--flush-every``, ``--quiet``, ``--trace``) are
+defined once in :func:`sweep_options` and shared — with identical
+spelling and semantics — by ``repro sweep`` and
+``scripts/run_paper_sweep.py``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import ExitStack
+from pathlib import Path
 
+from . import obs
 from .algorithms import Discretization, madpipe, pipedream
 from .core.platform import Platform
 from .core.serialize import save_pattern
@@ -23,7 +36,7 @@ from .models import linearize, vgg16
 from .viz.gantt import render_gantt
 from .viz.report import chain_report, schedule_report
 
-__all__ = ["main"]
+__all__ = ["main", "sweep_options"]
 
 _NETWORKS = dict(network_builders(), vgg16=vgg16)
 
@@ -50,45 +63,78 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_registry_stats(snap: dict, ilp_status: str | None) -> None:
+    """Render ``--stats`` from the metrics registry's counter snapshot."""
+    if snap.get("dp.searches"):
+        print(
+            f"phase-1 DP: {snap.get('dp.states', 0)} states over "
+            f"{snap.get('dp.probes', 0)} probes "
+            f"({snap.get('dp.searches', 0)} searches), "
+            f"{snap.get('dp.wall_s', 0.0):.2f}s wall, "
+            f"pruned {snap.get('dp.pruned_cap', 0)} candidates by period cap, "
+            f"{snap.get('dp.pruned_mem', 0)} by memory"
+        )
+    if snap.get("ilp.searches"):
+        line = (
+            f"phase-2 ILP: {snap.get('ilp.milp_probes', 0)} MILP probes "
+            f"({snap.get('ilp.milp_timeouts', 0)} hit the time limit), "
+            f"{snap.get('ilp.lp_jumps', 0)} LP jumps "
+            f"({snap.get('ilp.lp_failures', 0)} failed), "
+            f"build {snap.get('ilp.build_s', 0.0):.3f}s, "
+            f"solve {snap.get('ilp.solve_s', 0.0):.3f}s"
+        )
+        if ilp_status is not None:
+            line += f", search status: {ilp_status}"
+        print(line)
+    if snap.get("onef1b.searches"):
+        print(
+            f"1F1B*: {snap.get('onef1b.searches', 0)} period searches, "
+            f"{snap.get('onef1b.feasible', 0)} feasible"
+        )
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     chain = load_chain(args.profile)
     platform = Platform.of(args.procs, args.memory_gb, args.bandwidth_gbps)
-    if args.algorithm == "pipedream":
-        res = pipedream(chain, platform)
-        pattern = res.schedule.pattern if res.feasible else None
-        mp = None
-        phase1 = None
-        ilp = None
-    else:
-        mp = madpipe(
-            chain,
-            platform,
-            grid=getattr(Discretization, args.grid)(),
-            iterations=args.iterations,
-            ilp_time_limit=args.ilp_time_limit,
-        )
-        pattern = mp.pattern
-        phase1 = mp.phase1
-        ilp = mp.ilp
-    if args.stats:
-        if phase1 is None:
-            print("solver stats: n/a (pipedream has no DP phase)")
+    registry = obs.MetricsRegistry()
+    trace = obs.Trace(f"schedule:{Path(args.profile).stem}") if args.trace else None
+    with ExitStack() as stack:
+        stack.enter_context(obs.use_metrics(registry))
+        if trace is not None:
+            stack.enter_context(obs.use_trace(trace))
+        if args.algorithm == "pipedream":
+            res = pipedream(chain, platform)
+            pattern = res.schedule.pattern if res.feasible else None
+            mp = None
         else:
-            print(
-                f"phase-1 DP: {phase1.states} states over "
-                f"{len(phase1.history)} probes, {phase1.wall_time_s:.2f}s wall, "
-                f"pruned {phase1.pruned_cap} candidates by period cap, "
-                f"{phase1.pruned_mem} by memory"
+            mp = madpipe(
+                chain,
+                platform,
+                grid=getattr(Discretization, args.grid)(),
+                iterations=args.iterations,
+                ilp_time_limit=args.ilp_time_limit,
             )
-            if ilp is not None:
-                t = ilp.timings
-                print(
-                    f"phase-2 ILP: {t['milp_probes']} MILP probes "
-                    f"({t['milp_timeouts']} hit the time limit), "
-                    f"{t['lp_jumps']} LP jumps ({t['lp_failures']} failed), "
-                    f"build {t['build_s']:.3f}s, solve {t['solve_s']:.3f}s, "
-                    f"search status: {ilp.status}"
-                )
+            pattern = mp.pattern
+    if trace is not None:
+        obs.write_chrome_trace(trace, args.trace)
+        print(f"wrote trace ({len(trace)} spans) to {args.trace}")
+    if args.stats_json:
+        payload = obs.metrics_payload(
+            registry,
+            command="schedule",
+            profile=args.profile,
+            algorithm=args.algorithm,
+            status=mp.status if mp is not None else
+            ("ok" if pattern is not None else "infeasible"),
+        )
+        Path(args.stats_json).write_text(json.dumps(payload, indent=1))
+        print(f"wrote solver metrics to {args.stats_json}")
+    if args.stats:
+        _print_registry_stats(
+            registry.snapshot(),
+            mp.ilp.status if mp is not None and mp.ilp is not None else None,
+        )
+        if mp is not None:
             print(f"result status: {mp.status}")
             for note in mp.notes:
                 print(f"  - {note}")
@@ -109,9 +155,71 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from pathlib import Path
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    try:
+        roots = obs.load_trace_file(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot read trace {args.file}: {exc}")
+        return 2
+    print(render := obs.render_summary(obs.summarize(roots)))
+    return 0 if render != "(empty trace)" else 1
 
+
+def sweep_options() -> argparse.ArgumentParser:
+    """The canonical sweep runtime flags, defined once.
+
+    ``repro sweep`` and ``scripts/run_paper_sweep.py`` both include this
+    parser via ``parents=[sweep_options()]``, so every shared option has
+    exactly one spelling, type and help text.  Callers override defaults
+    with ``parser.set_defaults(...)`` after construction.
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="fan instances out over N worker processes (1 = serial)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-run cached instances whose status is solver_timeout/error "
+        "(completed instances are always skipped)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per crashed/timed-out instance before giving up",
+    )
+    p.add_argument(
+        "--instance-timeout", type=float, default=None, metavar="S",
+        help="per-instance wall-clock deadline, enforced in the worker",
+    )
+    p.add_argument(
+        "--on-error", choices=("raise", "record"), default="raise",
+        help='after retries: "raise" aborts the sweep, "record" stores a '
+        "typed error result and continues",
+    )
+    p.add_argument(
+        "--grid", choices=("coarse", "default", "paper"), default="coarse",
+        help="phase-1 DP discretization preset",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=8,
+        help="phase-1 binary-search iterations",
+    )
+    p.add_argument("--ilp-time-limit", type=float, default=30.0, metavar="S")
+    p.add_argument(
+        "--flush-every", type=int, default=8,
+        help="cache flush batch size (records per fsync'd append)",
+    )
+    p.add_argument("--quiet", action="store_true")
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append per-instance span trees to PATH (JSONL; inspect with "
+        "'repro trace summary PATH')",
+    )
+    return p
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import ResultCache, run_grid
 
     Path(args.out).parent.mkdir(parents=True, exist_ok=True)
@@ -121,30 +229,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"warning: quarantined {len(cache.quarantined)} corrupt cache "
             f"line(s); kept {len(cache)} valid record(s)"
         )
+    registry = obs.MetricsRegistry()
     try:
-        results = run_grid(
-            tuple(args.networks),
-            tuple(args.procs),
-            tuple(args.memories),
-            tuple(args.bandwidths),
-            algorithms=tuple(args.algorithms),
-            grid=getattr(Discretization, args.grid)(),
-            iterations=args.iterations,
-            ilp_time_limit=args.ilp_time_limit,
-            cache=cache,
-            verbose=not args.quiet,
-            n_workers=args.workers,
-            instance_timeout=args.instance_timeout,
-            max_retries=args.max_retries,
-            retry_failed=args.resume,
-            on_exhausted=args.on_error,
-        )
+        with obs.use_metrics(registry):
+            results = run_grid(
+                tuple(args.networks),
+                tuple(args.procs),
+                tuple(args.memories),
+                tuple(args.bandwidths),
+                algorithms=tuple(args.algorithms),
+                grid=getattr(Discretization, args.grid)(),
+                iterations=args.iterations,
+                ilp_time_limit=args.ilp_time_limit,
+                cache=cache,
+                verbose=not args.quiet,
+                n_workers=args.workers,
+                instance_timeout=args.instance_timeout,
+                max_retries=args.max_retries,
+                retry_failed=args.resume,
+                on_exhausted=args.on_error,
+                trace_path=args.trace,
+            )
     except KeyboardInterrupt:
         print(f"\ninterrupted; {len(cache)} instance(s) cached in {args.out}")
         print("re-run with --resume to continue")
         return 130
     n_bad = sum(1 for r in results if r is not None and r.status != "ok")
     print(f"sweep done: {len(results)} instance(s), {n_bad} not ok, cache {args.out}")
+    if not args.quiet and len(registry):
+        counters = registry.counters()
+        keys = ("sweep.instances", "sweep.cache_hits", "sweep.retries",
+                "dp.searches", "ilp.milp_probes", "onef1b.searches")
+        shown = {k: counters[k] for k in keys if k in counters}
+        if shown:
+            print("counters: " + " ".join(f"{k}={v}" for k, v in shown.items()))
+    if args.trace:
+        print(f"trace: {args.trace} (see 'repro trace summary {args.trace}')")
     return 0
 
 
@@ -212,6 +332,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print solver diagnostics (DP states/pruning, ILP probe timings)",
     )
+    p.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write the solver metrics registry as JSON to PATH",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-tracing JSON span tree to PATH "
+        "(load in chrome://tracing or ui.perfetto.dev)",
+    )
     p.add_argument("--gantt", action="store_true")
     p.add_argument("--width", type=int, default=100)
     p.add_argument("-o", "--out", default=None)
@@ -219,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "sweep",
+        parents=[sweep_options()],
         help="run a (network, P, M, beta, algorithm) grid with a resumable cache",
     )
     p.add_argument(
@@ -240,34 +370,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=["pipedream", "madpipe"],
     )
     p.add_argument("--out", default="results/sweep.jsonl", help="cache file (JSONL)")
-    p.add_argument("--workers", type=int, default=1)
-    p.add_argument(
-        "--resume",
-        action="store_true",
-        help="re-run cached instances whose status is solver_timeout/error "
-        "(completed instances are always skipped)",
-    )
-    p.add_argument(
-        "--max-retries", type=int, default=2,
-        help="retries per crashed/timed-out instance before giving up",
-    )
-    p.add_argument(
-        "--instance-timeout", type=float, default=None, metavar="S",
-        help="per-instance wall-clock deadline, enforced in the worker",
-    )
-    p.add_argument(
-        "--on-error", choices=("raise", "record"), default="raise",
-        help='after retries: "raise" aborts the sweep, "record" stores a '
-        "typed error result and continues",
-    )
-    p.add_argument(
-        "--grid", choices=("coarse", "default", "paper"), default="coarse"
-    )
-    p.add_argument("--iterations", type=int, default=8)
-    p.add_argument("--ilp-time-limit", type=float, default=30.0)
-    p.add_argument("--flush-every", type=int, default=8)
-    p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("trace", help="inspect trace files written by --trace")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summary", help="aggregate a trace's spans by name (count, wall, CPU)"
+    )
+    ps.add_argument("file", help="Chrome trace JSON or sweep trace JSONL")
+    ps.set_defaults(func=_cmd_trace_summary)
 
     p = sub.add_parser("cache", help="inspect/repair sweep result caches")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -56,6 +56,7 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from .. import obs
 from ..algorithms.madpipe import madpipe
 from ..algorithms.madpipe_dp import Discretization
 from ..algorithms.pipedream import pipedream
@@ -160,27 +161,40 @@ def run_instance(
     t0 = time.perf_counter()
     status = "ok"
     failure: str | None = None
-    if algorithm == "pipedream":
-        res = pipedream(chain, platform)
-        dp, valid = res.dp_period, res.period
-        n_stages = res.partitioning.n_stages if res.feasible else 0
-        if not res.feasible:
-            status, failure = "infeasible", "pipedream found no memory-feasible schedule"
-    elif algorithm == "madpipe":
-        res = madpipe(
-            chain,
-            platform,
-            grid=grid,
-            iterations=iterations,
-            ilp_time_limit=ilp_time_limit,
-        )
-        dp, valid = res.dp_period, res.period
-        n_stages = res.allocation.n_stages if res.allocation is not None else 0
-        status = res.status
-        if status != "ok":
-            failure = "; ".join(res.notes) or None
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
+    with obs.span(
+        "instance",
+        network=network or chain.name,
+        algorithm=algorithm,
+        n_procs=platform.n_procs,
+        memory_gb=platform.memory / GB,
+        bandwidth_gbps=platform.bandwidth / GBPS,
+    ) as inst_span:
+        if algorithm == "pipedream":
+            res = pipedream(chain, platform)
+            dp, valid = res.dp_period, res.period
+            n_stages = res.partitioning.n_stages if res.feasible else 0
+            if not res.feasible:
+                status, failure = (
+                    "infeasible",
+                    "pipedream found no memory-feasible schedule",
+                )
+        elif algorithm == "madpipe":
+            res = madpipe(
+                chain,
+                platform,
+                grid=grid,
+                iterations=iterations,
+                ilp_time_limit=ilp_time_limit,
+            )
+            dp, valid = res.dp_period, res.period
+            n_stages = res.allocation.n_stages if res.allocation is not None else 0
+            status = res.status
+            if status != "ok":
+                failure = "; ".join(res.notes) or None
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        inst_span.set(status=status, period=valid if valid != INF else None)
+    obs.inc("sweep.instances")
     return RunResult(
         network=network or chain.name,
         n_procs=platform.n_procs,
@@ -236,22 +250,39 @@ def _run_spec(
     iterations: int,
     ilp_time_limit: float,
     instance_timeout: float | None = None,
-) -> RunResult:
+    observe: bool = False,
+):
     """Worker entry point: rebuild the (cached-per-process) chain from the
-    network name and run one instance.  Must stay module-level picklable."""
+    network name and run one instance.  Must stay module-level picklable.
+
+    With ``observe=True`` the instance runs under a fresh trace + metrics
+    registry and the return value is a ``(RunResult, counts, spans)``
+    triple — plain dicts/lists so it pickles across the process pool and
+    the parent can merge counters / append spans deterministically.
+    """
     network, p, m, b, algo = spec
-    with _deadline(instance_timeout, spec):
-        # inside the deadline, so a "sleep" fault models a hung solve
-        faults.fire("worker", key=_spec_key(spec))
-        return run_instance(
-            paper_chain(network),
-            Platform.of(p, m, b),
-            algo,
-            network=network,
-            grid=grid,
-            iterations=iterations,
-            ilp_time_limit=ilp_time_limit,
-        )
+
+    def _run() -> RunResult:
+        with _deadline(instance_timeout, spec):
+            # inside the deadline, so a "sleep" fault models a hung solve
+            faults.fire("worker", key=_spec_key(spec))
+            return run_instance(
+                paper_chain(network),
+                Platform.of(p, m, b),
+                algo,
+                network=network,
+                grid=grid,
+                iterations=iterations,
+                ilp_time_limit=ilp_time_limit,
+            )
+
+    if not observe:
+        return _run()
+    trace = obs.Trace(_spec_key(spec))
+    registry = obs.MetricsRegistry()
+    with obs.use_trace(trace), obs.use_metrics(registry):
+        result = _run()
+    return result, registry.snapshot(), [s.to_dict() for s in trace.roots]
 
 
 def _error_result(spec: tuple, exc: BaseException) -> RunResult:
@@ -292,6 +323,7 @@ def run_grid(
     retry_backoff_s: float = 1.0,
     retry_failed: bool = False,
     on_exhausted: str = "raise",
+    trace_path: str | Path | None = None,
 ) -> list[RunResult]:
     """Run a full scenario grid, replaying cached instances if available.
 
@@ -315,6 +347,15 @@ def run_grid(
     * ``retry_failed`` — also re-run cached instances whose status is in
       :data:`RETRY_STATUSES` (the ``--resume`` semantics).
 
+    Observability: with ``trace_path`` set (or a metrics registry
+    installed via :func:`repro.obs.use_metrics`), every instance —
+    serial or pooled — runs under its own trace + registry; counters are
+    merged into the caller's registry as results return (deterministic:
+    counter sums are order-independent), and each finished instance's
+    spans are appended to ``trace_path`` as one JSON-Lines record
+    ``{"spec": […], "spans": […]}``.  Spans of attempts that failed and
+    were retried are dropped; a resumed sweep appends to the same file.
+
     The cache is flushed on *every* exit path, including
     ``KeyboardInterrupt``, so completed instances are never lost.
     """
@@ -330,17 +371,34 @@ def run_grid(
         for m in memories_gb
         for algo in algorithms
     ]
+    observe = trace_path is not None or obs.active_metrics() is not None
     out: list[RunResult | None] = [None] * len(specs)
     remaining: set[int] = set()
     for i, spec in enumerate(specs):
         hit = cache.get(spec) if cache is not None else None
         if hit is not None and not (retry_failed and hit.status in RETRY_STATUSES):
             out[i] = hit
+            obs.inc("sweep.cache_hits")
         else:
             remaining.add(i)
 
     attempts = dict.fromkeys(remaining, 0)
     n_recorded = 0
+
+    def unwrap(payload) -> RunResult:
+        """Fold an observed worker's (result, counts, spans) triple back
+        into the parent: merge counters, append the instance's spans."""
+        if not observe or isinstance(payload, RunResult):
+            return payload
+        result, counts, spans = payload
+        registry = obs.active_metrics()
+        if registry is not None:
+            registry.merge(counts)
+        if trace_path is not None and spans:
+            line = json.dumps({"spec": list(result.key), "spans": spans})
+            with open(trace_path, "a") as fh:
+                fh.write(line + "\n")
+        return result
 
     def record(i: int, r: RunResult) -> None:
         nonlocal n_recorded
@@ -364,6 +422,7 @@ def run_grid(
     def fail(i: int, exc: BaseException) -> None:
         attempts[i] += 1
         if attempts[i] <= max_retries:
+            obs.inc("sweep.retries")
             if verbose:
                 print(
                     f"instance {specs[i]!r} failed "
@@ -398,13 +457,14 @@ def run_grid(
                                 iterations,
                                 ilp_time_limit,
                                 instance_timeout,
+                                observe,
                             ): i
                             for i in batch
                         }
                         for fut in as_completed(futures):
                             i = futures[fut]
                             try:
-                                finish(i, fut.result())
+                                finish(i, unwrap(fut.result()))
                             except (BrokenProcessPool, KeyboardInterrupt, SystemExit):
                                 raise
                             except SweepInstanceError:
@@ -415,6 +475,7 @@ def run_grid(
                     # a worker died hard (SIGKILL/os._exit): every
                     # unfinished instance of the round is charged one
                     # attempt, then the pool is rebuilt next round
+                    obs.inc("sweep.pool_restarts")
                     if verbose:
                         print(f"process pool broke ({exc}); restarting")
                     for i in [j for j in batch if j in remaining]:
@@ -428,8 +489,15 @@ def run_grid(
                     try:
                         finish(
                             i,
-                            _run_spec(
-                                specs[i], grid, iterations, ilp_time_limit, instance_timeout
+                            unwrap(
+                                _run_spec(
+                                    specs[i],
+                                    grid,
+                                    iterations,
+                                    ilp_time_limit,
+                                    instance_timeout,
+                                    observe,
+                                )
                             ),
                         )
                     except (KeyboardInterrupt, SystemExit):

@@ -47,6 +47,7 @@ from ..core.memory import stage_memory_breakdown
 from ..core.partition import Allocation
 from ..core.pattern import gpu, link
 from ..core.platform import Platform
+from ..obs.metrics import inc as _metric_inc
 
 __all__ = ["ScheduleMILP", "MilpSkeleton", "build_skeleton", "build_milp"]
 
@@ -366,4 +367,5 @@ def build_milp(
         raise ValueError("period must be positive")
     if skeleton is None:
         skeleton = build_skeleton(chain, platform, allocation, max_shift=max_shift)
+    _metric_inc("ilp.model_builds")
     return skeleton.instantiate(period)

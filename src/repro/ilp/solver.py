@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.optimize import linprog, milp
 
+from .. import obs
 from ..core.chain import Chain
 from ..core.partition import Allocation
 from ..core.pattern import Op, PatternError, PeriodicPattern
@@ -323,7 +324,50 @@ def schedule_allocation(
     MILP can certify feasible.  See the module docstring for the search
     strategy; ``reuse_skeleton=False`` rebuilds every probe's model from
     scratch (same probes, same answer — kept for the equivalence test).
+
+    Instrumented: the whole search runs under an ``ilp.search`` span,
+    each MILP probe/LP jump emits its own span with build/solve
+    attributes, and the probe totals land on the metrics registry
+    (``ilp.milp_probes``, ``ilp.build_s``, …) when one is active.
     """
+    with obs.span(
+        "ilp.search",
+        n_stages=allocation.n_stages,
+        contiguous=allocation.is_contiguous(),
+    ) as search_span:
+        res = _schedule_allocation(
+            chain,
+            platform,
+            allocation,
+            rel_tol,
+            max_probes,
+            time_limit,
+            reuse_skeleton,
+            search_span,
+        )
+    obs.inc("ilp.searches")
+    t = res.timings
+    obs.inc("ilp.milp_probes", t["milp_probes"])
+    obs.inc("ilp.milp_timeouts", t["milp_timeouts"])
+    obs.inc("ilp.lp_jumps", t["lp_jumps"])
+    obs.inc("ilp.lp_failures", t["lp_failures"])
+    obs.inc("ilp.build_s", t["build_s"])
+    obs.inc("ilp.solve_s", t["solve_s"])
+    obs.inc(f"ilp.status.{res.status}")
+    return res
+
+
+def _schedule_allocation(
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    rel_tol: float,
+    max_probes: int,
+    time_limit: float,
+    reuse_skeleton: bool,
+    search_span,
+) -> ILPScheduleResult:
+    """The uninstrumented period search; see :func:`schedule_allocation`."""
     lower = allocation.period_lower_bound(chain, platform)
     seq = _sequential_period(chain, platform, allocation)
     trace: list[ProbeRecord] = []
@@ -337,10 +381,18 @@ def schedule_allocation(
             status = "degraded" if timed_out else "ok"
         else:
             status = "timeout" if timed_out else "infeasible"
-        return ILPScheduleResult(period, pattern, trace, status)
+        res = ILPScheduleResult(period, pattern, trace, status)
+        search_span.set(
+            status=status,
+            period=period if period != INF else None,
+            milp_probes=res.timings["milp_probes"],
+        )
+        return res
 
     try:
-        skeleton = build_skeleton(chain, platform, allocation)
+        with obs.span("ilp.build_skeleton", n_stages=allocation.n_stages):
+            skeleton = build_skeleton(chain, platform, allocation)
+        obs.inc("ilp.skeleton_builds")
     except ValueError:
         # static memory (weights+buffers) alone exceeds some GPU: no
         # period can ever be feasible
@@ -356,30 +408,38 @@ def schedule_allocation(
     def lp_jump(x: np.ndarray) -> None:
         t0 = time.perf_counter()
         jump_status = "ok"
-        try:
-            out = _reoptimize_period(skeleton, allocation, x, max(lower, state["lo"]))
-        except (ValueError, ArithmeticError, np.linalg.LinAlgError):
-            # SciPy rejects a malformed LP with ValueError; overflow /
-            # division artifacts surface as ArithmeticError subclasses
-            out, jump_status = None, "error"
-        if out is None and jump_status == "ok":
-            jump_status = "infeasible"
-        if out is not None:
-            T_lp, pattern = out
-            if T_lp < state["hi"] * (1 - 1e-12):
-                try:
-                    pattern.validate(chain, platform)
-                    pattern.check_memory(chain, platform, tol=1e-6)
-                except PatternError:
-                    out, jump_status = None, "invalid"
-                else:
-                    state["hi"], state["pattern"] = T_lp, pattern
+        with obs.span("ilp.lp_jump") as jump_span:
+            try:
+                out = _reoptimize_period(
+                    skeleton, allocation, x, max(lower, state["lo"])
+                )
+            except (ValueError, ArithmeticError, np.linalg.LinAlgError):
+                # SciPy rejects a malformed LP with ValueError; overflow /
+                # division artifacts surface as ArithmeticError subclasses
+                out, jump_status = None, "error"
+            if out is None and jump_status == "ok":
+                jump_status = "infeasible"
+            if out is not None:
+                T_lp, pattern = out
+                if T_lp < state["hi"] * (1 - 1e-12):
+                    try:
+                        pattern.validate(chain, platform)
+                        pattern.check_memory(chain, platform, tol=1e-6)
+                    except PatternError:
+                        out, jump_status = None, "invalid"
+                    else:
+                        state["hi"], state["pattern"] = T_lp, pattern
+            solve_s = time.perf_counter() - t0
+            jump_span.set(
+                T=state["hi"], status=jump_status,
+                feasible=out is not None, solve_s=solve_s,
+            )
         trace.append(
             ProbeRecord(
                 period=state["hi"],
                 feasible=out is not None,
                 build_s=0.0,
-                solve_s=time.perf_counter() - t0,
+                solve_s=solve_s,
                 kind="lp",
                 status=jump_status,
             )
@@ -387,21 +447,30 @@ def schedule_allocation(
 
     def probe(T: float, *, jump: bool = True, feasibility_only: bool = True) -> bool:
         if T in memo:
+            obs.inc("ilp.memo_hits")
             return memo[T]
-        t0 = time.perf_counter()
-        model = build_milp(chain, platform, allocation, T, skeleton=probe_skeleton)
-        t1 = time.perf_counter()
-        pattern, x, probe_status = _solve_model(
-            chain, platform, allocation, model, time_limit,
-            feasibility_only=feasibility_only,
-        )
-        ok = pattern is not None
+        with obs.span(
+            "ilp.probe", T=T, feasibility_only=feasibility_only
+        ) as probe_span:
+            t0 = time.perf_counter()
+            model = build_milp(chain, platform, allocation, T, skeleton=probe_skeleton)
+            t1 = time.perf_counter()
+            pattern, x, probe_status = _solve_model(
+                chain, platform, allocation, model, time_limit,
+                feasibility_only=feasibility_only,
+            )
+            ok = pattern is not None
+            build_s, solve_s = t1 - t0, time.perf_counter() - t1
+            probe_span.set(
+                build_s=build_s, solve_s=solve_s,
+                status=probe_status, feasible=ok,
+            )
         trace.append(
             ProbeRecord(
                 period=T,
                 feasible=ok,
-                build_s=t1 - t0,
-                solve_s=time.perf_counter() - t1,
+                build_s=build_s,
+                solve_s=solve_s,
                 status=probe_status,
             )
         )

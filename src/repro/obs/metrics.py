@@ -1,0 +1,130 @@
+"""Process-safe solver metrics: named counters with merge-on-return.
+
+A :class:`MetricsRegistry` is a flat ``name -> number`` accumulator.
+Solver layers increment well-known counters (``dp.states``,
+``ilp.milp_probes``, ``onef1b.searches``, ``sweep.retries``, …) through
+the guarded module-level :func:`inc` helper, which is a no-op unless a
+registry has been installed context-locally with :func:`use_metrics` —
+so the production default pays one context-variable lookup per call
+site and nothing else.
+
+Cross-process aggregation follows the sweep harness's merge-on-return
+discipline (like the fault-injection counters): each worker runs its
+instance under a fresh registry, ships the :meth:`snapshot` dict back
+with the result, and the parent :meth:`merge`\\ s it into its own
+registry.  Counter values are plain numbers, so merging is commutative
+and the aggregate is deterministic regardless of worker scheduling
+(timing metrics — names ending in ``_s`` — are of course wall-clock
+dependent; :meth:`counters` filters them out for determinism checks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Mapping
+
+__all__ = [
+    "MetricsRegistry",
+    "active_metrics",
+    "inc",
+    "time_block",
+    "use_metrics",
+]
+
+
+class MetricsRegistry:
+    """Flat, lock-protected counter registry.
+
+    By convention counter names are dotted (``subsystem.metric``) and
+    timing accumulators end in ``_s`` (seconds).
+    """
+
+    __slots__ = ("_counts", "_lock")
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + value
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._counts.get(name, default)
+
+    def snapshot(self) -> dict[str, float]:
+        """A name-sorted copy of all counters (JSON-ready)."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def counters(self) -> dict[str, float]:
+        """The deterministic subset: every counter not ending in ``_s``."""
+        return {k: v for k, v in self.snapshot().items() if not k.endswith("_s")}
+
+    def merge(self, counts: Mapping[str, float]) -> None:
+        """Add another registry's snapshot into this one."""
+        with self._lock:
+            for name, value in counts.items():
+                self._counts[name] = self._counts.get(name, 0) + value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the block's wall time into ``name`` (suffix it ``_s``)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.inc(name, time.perf_counter() - t0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({self.snapshot()!r})"
+
+
+_current: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_obs_metrics", default=None
+)
+
+
+def active_metrics() -> MetricsRegistry | None:
+    """The context-local registry, or ``None`` when none is installed."""
+    return _current.get()
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Increment a counter on the context registry; no-op when disabled."""
+    reg = _current.get()
+    if reg is not None:
+        reg.inc(name, value)
+
+
+@contextmanager
+def time_block(name: str) -> Iterator[None]:
+    """Accumulate the block's wall time on the context registry (no-op
+    when disabled — the clock is not even read)."""
+    reg = _current.get()
+    if reg is None:
+        yield
+        return
+    with reg.timer(name):
+        yield
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry):
+    """Install ``registry`` as the context-local registry for the block."""
+    token = _current.set(registry)
+    try:
+        yield registry
+    finally:
+        _current.reset(token)
