@@ -1,0 +1,131 @@
+"""Certification overhead benchmark: the gate must stay cheap.
+
+Every plan emitted by :func:`repro.algorithms.madpipe.madpipe` now runs
+through the discrete-event certification gate before it is returned.
+This benchmark measures what that costs —
+
+* ``bench_gate`` times the full MadPipe pipeline with ``certify=True``
+  against ``certify=False`` on one paper network (the gate's share of
+  the end-to-end wall time), checking the period is unchanged;
+* ``bench_verify`` times the bare :func:`repro.robust.certify_pattern`
+  call hammered in a loop (the marginal cost per certification, which
+  the MILP incumbent gate pays once per suspect probe);
+* ``bench_robustness`` times a seeded
+  :func:`repro.robust.robustness_report` and reports the per-sample
+  cost of the stress test, checking two runs with the same seed agree.
+
+``scripts/bench_report.py --suite certify`` records the results to
+``BENCH_certify.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.madpipe import madpipe
+from repro.core.platform import Platform
+from repro.experiments.scenarios import paper_chain
+from repro.robust import certify_pattern, robustness_report
+
+BENCH_PROCS = 4
+BENCH_MEMORY_GB = 8.0
+BENCH_BANDWIDTH_GBPS = 12.0
+
+
+def _bench_platform() -> Platform:
+    return Platform.of(BENCH_PROCS, BENCH_MEMORY_GB, BENCH_BANDWIDTH_GBPS)
+
+
+def bench_gate(network: str = "resnet50", *, repeats: int = 3,
+               iterations: int = 8) -> dict:
+    """End-to-end MadPipe wall time with and without the gate."""
+    chain = paper_chain(network)
+    platform = _bench_platform()
+    out: dict = {"bench": "gate", "network": network}
+    periods = set()
+    for mode, certify in (("uncertified", False), ("certified", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = madpipe(chain, platform, iterations=iterations, certify=certify)
+            best = min(best, time.perf_counter() - t0)
+        periods.add(res.period)
+        out[f"{mode}_s"] = best
+    assert len(periods) == 1, f"the gate changed numerics: {periods}"
+    out["overhead_certified"] = out["certified_s"] / out["uncertified_s"]
+    return out
+
+
+def bench_verify(network: str = "resnet50", *, calls: int = 50,
+                 repeats: int = 3, iterations: int = 8) -> dict:
+    """Marginal cost of one certify_pattern call (best-of-N loop)."""
+    chain = paper_chain(network)
+    platform = _bench_platform()
+    res = madpipe(chain, platform, iterations=iterations, certify=False)
+    assert res.pattern is not None
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            cert = certify_pattern(chain, platform, res.pattern)
+        best = min(best, time.perf_counter() - t0)
+    assert cert.ok
+    return {
+        "bench": "verify",
+        "network": network,
+        "calls": calls,
+        "total_s": best,
+        "per_call_s": best / calls,
+        "periods_simulated": cert.periods_simulated,
+    }
+
+
+def bench_robustness(network: str = "resnet50", *, samples: int = 32,
+                     repeats: int = 3, iterations: int = 8) -> dict:
+    """Cost of one seeded robustness report (and its determinism)."""
+    chain = paper_chain(network)
+    platform = _bench_platform()
+    res = madpipe(chain, platform, iterations=iterations, certify=False)
+    assert res.pattern is not None
+    best = float("inf")
+    reports = set()
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rep = robustness_report(chain, platform, res.pattern,
+                                samples=samples, seed=0)
+        best = min(best, time.perf_counter() - t0)
+        reports.add(repr(sorted(rep.to_dict().items())))
+    assert len(reports) == 1, "seeded robustness report was not deterministic"
+    return {
+        "bench": "robustness",
+        "network": network,
+        "samples": samples,
+        "total_s": best,
+        "per_sample_s": best / samples,
+        "worst_period_inflation": rep.worst_period_inflation,
+        "breaking_noise_scale": rep.breaking_noise_scale,
+    }
+
+
+def bench_all(**kw) -> list[dict]:
+    return [bench_gate(**kw), bench_verify(), bench_robustness()]
+
+
+def test_certify_overhead_smoke():
+    """The gate's share of the pipeline stays bounded, numerics intact.
+
+    The bound is deliberately loose: the point is catching something
+    catastrophic (re-simulating hundreds of periods, say) on noisy CI
+    runners, not enforcing a performance budget.
+    """
+    g = bench_gate("toy8", repeats=2, iterations=4)
+    assert g["certified_s"] < g["uncertified_s"] * 5 + 0.5
+    v = bench_verify("toy8", calls=10, repeats=2, iterations=4)
+    assert v["per_call_s"] < 0.5
+    r = bench_robustness("toy8", samples=8, repeats=2, iterations=4)
+    assert r["total_s"] < 5.0
+
+
+if __name__ == "__main__":
+    for rec in bench_all():
+        print(rec)

@@ -15,6 +15,9 @@ change.
 * ``--suite obs`` → ``BENCH_obs.json`` via
   ``benchmarks/bench_obs_overhead.py`` (instrumentation cost of the
   observability layer in disabled/metrics/traced modes);
+* ``--suite certify`` → ``BENCH_certify.json`` via
+  ``benchmarks/bench_certify.py`` (cost of the discrete-event
+  certification gate and the seeded robustness stress test);
 * ``--suite all`` (default) → all of the above.
 
 Usage::
@@ -39,6 +42,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import bench_certify  # noqa: E402
 import bench_dp_hotpath  # noqa: E402
 import bench_obs_overhead  # noqa: E402
 import bench_phase2_hotpath  # noqa: E402
@@ -116,6 +120,40 @@ def run_obs(smoke: bool, out_dir: Path) -> None:
     print(f"wrote {out}\n")
 
 
+def run_certify(smoke: bool, out_dir: Path) -> None:
+    if smoke:
+        runs = [
+            bench_certify.bench_gate("toy8", repeats=1, iterations=4),
+            bench_certify.bench_verify("toy8", calls=10, repeats=1, iterations=4),
+            bench_certify.bench_robustness(
+                "toy8", samples=8, repeats=1, iterations=4
+            ),
+        ]
+    else:
+        runs = bench_certify.bench_all()
+    out = out_dir / "BENCH_certify.json"
+    out.write_text(json.dumps(_payload(smoke, runs), indent=1) + "\n")
+    for r in runs:
+        if r["bench"] == "gate":
+            print(
+                f"    gate {r['network']:>10}: uncertified {r['uncertified_s']:.4f}s"
+                f" certified {r['certified_s']:.4f}s"
+                f" ({r['overhead_certified']:.2f}x)"
+            )
+        elif r["bench"] == "verify":
+            print(
+                f"  verify {r['network']:>10}: {r['per_call_s'] * 1e3:.2f}ms/call"
+                f" ({r['periods_simulated']} periods simulated)"
+            )
+        else:
+            print(
+                f"  robust {r['network']:>10}: {r['total_s']:.4f}s for"
+                f" {r['samples']} samples"
+                f" ({r['per_sample_s'] * 1e3:.2f}ms/sample)"
+            )
+    print(f"wrote {out}\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -125,7 +163,7 @@ def main() -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("dp", "phase2", "obs", "all"),
+        choices=("dp", "phase2", "obs", "certify", "all"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -141,6 +179,8 @@ def main() -> int:
         run_phase2(args.smoke, out_dir)
     if args.suite in ("obs", "all"):
         run_obs(args.smoke, out_dir)
+    if args.suite in ("certify", "all"):
+        run_certify(args.smoke, out_dir)
     return 0
 
 

@@ -12,7 +12,10 @@ Checks, in order:
    through the deprecated top-level shims);
 3. each deprecated name warns exactly once per process, then resolves
    silently;
-4. the facade works end to end on a toy instance.
+4. the facade works end to end on a toy instance;
+5. the certification surface is pinned: ``repro.api.certify`` is
+   callable, every ``plan()`` result carries an ``ok`` certificate,
+   and two same-seed robustness reports are identical.
 
 Exit code 0 on success; any failure raises and exits non-zero.
 
@@ -65,6 +68,24 @@ def main() -> int:
     assert result.trace is not None and len(result.trace) > 0
     assert result.metrics.get("madpipe.runs") == 1
     print(f"plan ok: period={result.period:.4f}, {len(result.trace)} spans")
+
+    # 5. the certification surface: api.certify is callable, plan results
+    # carry an ok certificate, same-seed robustness reports are identical
+    assert callable(api.certify), "repro.api.certify is not callable"
+    cert = result.certificate
+    assert cert is not None and cert.ok, "plan() result lacks an ok certificate"
+    assert cert.mode in ("verified", "fallback")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        c1 = api.certify(chain, platform, result, samples=8, seed=3)
+        c2 = api.certify(chain, platform, result, samples=8, seed=3)
+    assert c1.ok and c1.robustness is not None
+    assert c1.to_dict() == c2.to_dict(), "same-seed certify reports differ"
+    assert result.certificate is c2, "certify() must refresh PlanResult"
+    print(
+        f"certify ok: worst period inflation "
+        f"{c1.robustness.worst_period_inflation:.4f}, deterministic"
+    )
 
     # 3. deprecated names warn exactly once, then resolve silently
     for name in sorted(deprecated):

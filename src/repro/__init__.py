@@ -35,7 +35,17 @@ from .algorithms import (
     min_feasible_period,
     pipedream,
 )
-from .api import PlanResult, SweepResult, SweepSpec, plan, sweep
+from .api import (
+    Certificate,
+    NoiseModel,
+    PlanResult,
+    RobustnessReport,
+    SweepResult,
+    SweepSpec,
+    certify,
+    plan,
+    sweep,
+)
 from .core import (
     GB,
     GBPS,
@@ -107,7 +117,11 @@ __all__ = [
     "obs",
     "plan",
     "sweep",
+    "certify",
+    "Certificate",
+    "NoiseModel",
     "PlanResult",
+    "RobustnessReport",
     "SweepResult",
     "SweepSpec",
     "Discretization",

@@ -30,6 +30,7 @@ from ..core.partition import Allocation
 from ..core.pattern import PeriodicPattern
 from ..core.platform import Platform
 from ..ilp.solver import ILPScheduleResult, schedule_allocation
+from ..robust.certify import Certificate, certify_pattern
 from .madpipe_dp import Algorithm1Result, Discretization, algorithm1
 from .onef1b import min_feasible_period
 
@@ -51,9 +52,18 @@ class MadPipeResult:
     search), ``degraded`` (the schedule is valid, but the MILP exhausted
     its time budget somewhere — the period carries the certified 1F1B\\*
     fallback or an uncertified search result, and may be improvable with
-    a larger ``ilp_time_limit``), ``solver_timeout`` (no schedule found
-    *and* the failure was the solver budget, not proven infeasibility),
-    ``infeasible`` (certified: nothing fits).
+    a larger ``ilp_time_limit`` — *or* the chosen pattern failed
+    certification and was quarantined in favour of the 1F1B\\*
+    fallback), ``solver_timeout`` (no schedule found *and* the failure
+    was the solver budget, not proven infeasibility), ``infeasible``
+    (certified: nothing fits), ``error`` (the chosen pattern failed
+    certification and no fallback could be certified either — the
+    quarantined pattern is withheld, never returned).
+
+    ``certificate`` is the discrete-event certificate of the *returned*
+    pattern (``None`` only with ``certify=False``); when a quarantine
+    happened, ``certificate.quarantined`` carries the rejected
+    pattern's violation report.
     """
 
     phase1: Algorithm1Result
@@ -63,6 +73,7 @@ class MadPipeResult:
     notes: list[str] = field(default_factory=list)
     ilp: ILPScheduleResult | None = None
     status: str = "ok"
+    certificate: Certificate | None = None
 
     @property
     def dp_period(self) -> float:
@@ -82,8 +93,20 @@ def madpipe(
     ilp_time_limit: float = 60.0,
     allow_special: bool = True,
     contiguous_fallback: bool = True,
+    memory_headroom: float = 0.0,
+    certify: bool = True,
 ) -> MadPipeResult:
-    """Run the complete MadPipe pipeline on one (chain, platform) instance."""
+    """Run the complete MadPipe pipeline on one (chain, platform) instance.
+
+    ``memory_headroom`` makes every planning layer (DP, MILP memory rows,
+    1F1B\\*) fit its schedule into ``memory · (1 − headroom)`` per GPU;
+    certification still measures margins against the full capacity.
+    ``certify=True`` (the default) runs the returned pattern through the
+    discrete-event certification gate: a pattern that fails is
+    quarantined — with its violation report on
+    ``result.certificate.quarantined`` — and replaced by the certified
+    1F1B\\* contiguous fallback, never silently returned.
+    """
     with obs.span(
         "madpipe", n_procs=platform.n_procs, chain=chain.name, L=chain.L
     ) as run_span:
@@ -94,6 +117,7 @@ def madpipe(
                 iterations=iterations,
                 grid=grid,
                 allow_special=allow_special,
+                memory_headroom=memory_headroom,
             )
         result = MadPipeResult(phase1=phase1, allocation=None, pattern=None)
 
@@ -103,7 +127,8 @@ def madpipe(
                 # 1F1B* is optimal for contiguous allocations — no ILP needed
                 with obs.span("madpipe.phase2", kind="onef1b"):
                     sched = min_feasible_period(
-                        chain, platform, allocation.partitioning
+                        chain, platform, allocation.partitioning,
+                        memory_headroom=memory_headroom,
                     )
                 if sched is not None:
                     result.allocation = allocation
@@ -115,7 +140,9 @@ def madpipe(
             else:
                 with obs.span("madpipe.phase2", kind="ilp"):
                     ilp = schedule_allocation(
-                        chain, platform, allocation, time_limit=ilp_time_limit
+                        chain, platform, allocation,
+                        time_limit=ilp_time_limit,
+                        memory_headroom=memory_headroom,
                     )
                 result.ilp = ilp
                 if ilp.feasible:
@@ -138,7 +165,8 @@ def madpipe(
                         obs.inc("madpipe.ilp_fallbacks")
                         with obs.span("madpipe.phase2", kind="onef1b_fallback"):
                             sched = min_feasible_period(
-                                chain, platform, allocation.partitioning
+                                chain, platform, allocation.partitioning,
+                                memory_headroom=memory_headroom,
                             )
                         if sched is not None:
                             result.allocation = Allocation.contiguous(
@@ -164,11 +192,15 @@ def madpipe(
                     iterations=iterations,
                     grid=grid,
                     allow_special=False,
+                    memory_headroom=memory_headroom,
                 )
                 sched = None
                 if contig.feasible:
                     alloc = contig.allocation.to_allocation(platform)
-                    sched = min_feasible_period(chain, platform, alloc.partitioning)
+                    sched = min_feasible_period(
+                        chain, platform, alloc.partitioning,
+                        memory_headroom=memory_headroom,
+                    )
             if sched is not None and sched.period < result.period:
                 result.allocation = alloc
                 result.pattern = sched.pattern
@@ -190,6 +222,16 @@ def madpipe(
             result.status = "degraded"
         else:
             result.status = "ok"
+
+        # mandatory certification gate: the chosen pattern is executed
+        # through the discrete-event verifier before being returned; a
+        # failure quarantines it in favour of the certified 1F1B*
+        # contiguous fallback (never a silent invalid plan)
+        if certify:
+            _certification_gate(
+                chain, platform, result, memory_headroom, iterations, grid
+            )
+
         run_span.set(
             status=result.status,
             period=result.period if result.period != INF else None,
@@ -197,3 +239,91 @@ def madpipe(
     obs.inc("madpipe.runs")
     obs.inc(f"madpipe.status.{result.status}")
     return result
+
+
+def _certification_gate(
+    chain: Chain,
+    platform: Platform,
+    result: MadPipeResult,
+    memory_headroom: float,
+    iterations: int,
+    grid: Discretization | None,
+) -> None:
+    """Certify ``result.pattern`` in place; quarantine + degrade on failure.
+
+    Fallback partitionings are tried in order: the quarantined
+    allocation's own contiguous restriction (only schedulable when it
+    has at most one stage per GPU), then a fresh contiguous
+    MadPipe-DP plan.  Each fallback pattern must itself pass
+    certification before it replaces the quarantined one.
+    """
+    cert = certify_pattern(
+        chain, platform, result.pattern, source=f"madpipe:{chain.name}"
+    )
+    if cert.ok:
+        result.certificate = cert
+        return
+
+    obs.inc("certify.quarantined")
+    result.notes.append(
+        f"certification failed for the chosen pattern; quarantined "
+        f"({cert.violations[0] if cert.violations else 'no violation detail'})"
+    )
+
+    def _own_restriction():
+        if (
+            result.allocation is not None
+            and result.allocation.n_stages <= platform.n_procs
+        ):
+            return result.allocation.partitioning
+        return None
+
+    def _contiguous_dp():
+        with obs.span("madpipe.contiguous_fallback", kind="quarantine"):
+            contig = algorithm1(
+                chain,
+                platform,
+                iterations=iterations,
+                grid=grid,
+                allow_special=False,
+                memory_headroom=memory_headroom,
+            )
+        if contig.feasible:
+            return contig.allocation.to_allocation(platform).partitioning
+        return None
+
+    tried = []
+    for provider in (_own_restriction, _contiguous_dp):
+        part = provider()
+        if part is None or part in tried:
+            continue
+        tried.append(part)
+        with obs.span("madpipe.phase2", kind="onef1b_quarantine_fallback"):
+            sched = min_feasible_period(
+                chain, platform, part, memory_headroom=memory_headroom
+            )
+        if sched is None:
+            continue
+        fb_cert = certify_pattern(
+            chain, platform, sched.pattern,
+            source=f"madpipe.fallback:{chain.name}",
+        )
+        if not fb_cert.ok:
+            result.notes.append("1F1B* fallback failed certification too")
+            continue
+        obs.inc("certify.fallbacks")
+        fb_cert.mode = "fallback"
+        fb_cert.quarantined = cert
+        result.allocation = Allocation.contiguous(part)
+        result.pattern = sched.pattern
+        result.period = sched.period
+        result.status = "degraded"
+        result.certificate = fb_cert
+        result.notes.append("replaced by the certified 1F1B* contiguous fallback")
+        return
+    # nothing certifiable: withhold the quarantined pattern entirely
+    result.allocation = None
+    result.pattern = None
+    result.period = INF
+    result.status = "error"
+    result.certificate = cert

@@ -482,19 +482,27 @@ def madpipe_dp(
     grid: Discretization | None = None,
     period_cap: float = INF,
     allow_special: bool = True,
+    memory_headroom: float = 0.0,
 ) -> MadPipeDPResult:
     """Evaluate ``MadPipe-DP(T̂)`` (§4.2.2).
 
     ``period_cap`` prunes candidate stages that cannot beat an incumbent
     period (the cap must over-estimate the optimum; ``inf`` disables).
     ``allow_special=False`` restricts the DP to contiguous allocations
-    (ablation: memory-aware PipeDream).
+    (ablation: memory-aware PipeDream).  ``memory_headroom`` reserves a
+    fraction of each GPU (see
+    :func:`repro.core.memory.effective_capacity`): the DP's memory masks
+    and its memory grid both use the derated capacity, so phase 1 only
+    proposes allocations that leave the requested margin.
     """
     if target <= 0:
         raise ValueError("target period must be positive")
     grid = grid or Discretization.default()
     t0 = time.perf_counter()
-    dp = _LevelDP(chain, platform, target, grid, period_cap, allow_special)
+    dp = _LevelDP(
+        chain, platform.with_headroom(memory_headroom), target, grid,
+        period_cap, allow_special,
+    )
     # P-1 normal processors plus the special one; without the special
     # processor all P processors are normal.
     p0 = platform.n_procs - 1 if allow_special else platform.n_procs
@@ -547,6 +555,7 @@ def algorithm1(
     iterations: int = 10,
     grid: Discretization | None = None,
     allow_special: bool = True,
+    memory_headroom: float = 0.0,
     dp=None,
 ) -> Algorithm1Result:
     """Algorithm 1: modified binary search over the target period T̂.
@@ -557,8 +566,12 @@ def algorithm1(
     ``dp`` swaps the ``MadPipe-DP(T̂)`` evaluator (same signature and
     result type as :func:`madpipe_dp`) — used by the golden tests and
     benchmarks to drive the search with the reference implementation.
+    A nonzero ``memory_headroom`` is forwarded to the evaluator (the
+    kwarg is omitted at zero so headroom-unaware evaluators keep
+    working).
     """
     dp = dp or madpipe_dp
+    dp_opts = {"memory_headroom": memory_headroom} if memory_headroom else {}
     t0 = time.perf_counter()
     lb = chain.total_compute() / platform.n_procs
     ub = chain.total_compute() + chain.total_comm(platform.bandwidth)
@@ -578,6 +591,7 @@ def algorithm1(
                     if best.feasible
                     else INF,
                     allow_special=allow_special,
+                    **dp_opts,
                 )
                 probe_span.set(
                     period=res.dp_period if res.dp_period != INF else None,

@@ -250,9 +250,14 @@ def min_feasible_period(
     partitioning: Partitioning,
     *,
     build: bool = True,
+    memory_headroom: float = 0.0,
 ) -> OneF1BResult | None:
     """Smallest period at which the 1F1B\\* schedule of ``partitioning``
     fits in memory on every GPU; ``None`` if no period works.
+
+    ``memory_headroom`` derates the capacity the schedule must fit into
+    (see :func:`repro.core.memory.effective_capacity`); the reported
+    per-GPU ``memory`` usage is unaffected.
 
     Instrumented: emits a ``onef1b.period_search`` span and
     ``onef1b.searches`` counter when tracing/metrics are active.  This
@@ -260,6 +265,7 @@ def min_feasible_period(
     path is guarded with a single context-variable read before any span
     machinery runs.
     """
+    platform = platform.with_headroom(memory_headroom)
     tr = active_trace()
     reg = active_metrics()
     if tr is None and reg is None:

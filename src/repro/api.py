@@ -7,8 +7,16 @@ This module is the supported way in:
   tracing/metrics;
 * :func:`sweep` — run one or more scenario grids through the resilient
   experiment harness and get a :class:`SweepResult` back;
+* :func:`certify` — (re-)certify a plan through the discrete-event
+  verifier and optionally stress-test it under seeded profile noise
+  (:class:`repro.robust.RobustnessReport`);
 * :func:`load_chain` — re-exported profile loader, so a typical script
   needs nothing beyond ``repro.api``.
+
+Every :func:`plan` result carries a ``certificate``: patterns are run
+through :func:`repro.robust.certify_pattern` before they are returned,
+and a failing plan is quarantined — never silently emitted (see the
+quarantine semantics in the README).
 
 Everything here delegates to the underlying algorithm modules without
 altering numerics: ``plan(chain, platform, algorithm="madpipe")``
@@ -39,13 +47,19 @@ from .core.chain import Chain
 from .core.pattern import PeriodicPattern
 from .core.platform import Platform
 from .experiments.harness import ResultCache, RunResult, run_grid
-from .profiling import load_chain
+from .profiling import NoiseModel, load_chain
+from .robust import Certificate, RobustnessReport, certify_pattern, robustness_report
+from .testing import faults
 
 __all__ = [
     "ALGORITHMS",
+    "Certificate",
+    "NoiseModel",
     "PlanResult",
+    "RobustnessReport",
     "SweepResult",
     "SweepSpec",
+    "certify",
     "load_chain",
     "plan",
     "sweep",
@@ -67,6 +81,12 @@ class PlanResult:
     :class:`~repro.algorithms.gpipe.GPipeResult`) for anything the
     uniform fields do not cover.  ``metrics`` is the run's counter
     snapshot; ``trace`` is populated when tracing was requested.
+
+    ``certificate`` is the discrete-event certificate of the returned
+    schedule (``None`` only when planning ran with ``certify=False``).
+    Pattern-producing algorithms get a ``verified`` (or, after a
+    quarantine, ``fallback``) certificate; GPipe's fill-drain rounds
+    have no periodic pattern and get a ``skipped`` one.
     """
 
     algorithm: str
@@ -77,6 +97,7 @@ class PlanResult:
     raw: Any
     metrics: dict[str, float] = field(default_factory=dict)
     trace: "obs.Trace | None" = None
+    certificate: Certificate | None = None
 
     @property
     def feasible(self) -> bool:
@@ -97,8 +118,10 @@ def plan(
     result; passing an existing ``Trace`` appends to it instead.  Extra
     keyword arguments go to the algorithm verbatim (``iterations``,
     ``grid``, ``ilp_time_limit``, ``allow_special``,
-    ``contiguous_fallback`` for MadPipe; ``micro_batches`` for GPipe),
-    so results match the direct calls bit for bit.
+    ``contiguous_fallback``, ``memory_headroom`` for MadPipe;
+    ``micro_batches`` for GPipe), so results match the direct calls bit
+    for bit.  ``certify=False`` skips the certification gate for any
+    algorithm (the result's ``certificate`` stays ``None``).
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(
@@ -139,10 +162,12 @@ def _dispatch(
             pattern=res.pattern,
             status=res.status,
             raw=res,
+            certificate=res.certificate,
         )
+    do_certify = opts.pop("certify", True)
     if algorithm == "pipedream":
         res = pipedream(chain, platform, **opts)
-        return PlanResult(
+        out = PlanResult(
             algorithm=algorithm,
             period=res.period,
             dp_period=res.dp_period,
@@ -150,8 +175,20 @@ def _dispatch(
             status="ok" if res.period != INF else "infeasible",
             raw=res,
         )
+        if do_certify:
+            out.certificate = certify_pattern(
+                chain, platform, out.pattern, source=f"pipedream:{chain.name}"
+            )
+            if not out.certificate.ok:
+                # PipeDream has no fallback schedule to degrade to: the
+                # quarantined pattern is withheld, never silently returned
+                obs.inc("certify.quarantined")
+                out.pattern = None
+                out.period = INF
+                out.status = "error"
+        return out
     res = gpipe(chain, platform, **opts)
-    return PlanResult(
+    out = PlanResult(
         algorithm=algorithm,
         period=res.period,
         dp_period=res.period,  # GPipe has no separate optimizer estimate
@@ -159,6 +196,68 @@ def _dispatch(
         status="ok" if res.feasible else "infeasible",
         raw=res,
     )
+    if do_certify:
+        out.certificate = Certificate(
+            ok=True, mode="skipped", source=f"gpipe:{chain.name}"
+        )
+    return out
+
+
+def certify(
+    chain: Chain,
+    platform: Platform,
+    plan_result: "PlanResult | PeriodicPattern | None",
+    *,
+    robustness: bool = True,
+    noise: "NoiseModel | None" = None,
+    samples: int = 32,
+    seed: int = 0,
+    **robust_opts: Any,
+) -> Certificate:
+    """(Re-)certify a plan and optionally stress-test it under noise.
+
+    Accepts the :class:`PlanResult` from :func:`plan` (its
+    ``certificate`` field is refreshed in place) or a bare
+    :class:`~repro.core.pattern.PeriodicPattern`.  The pattern is
+    re-executed through the discrete-event verifier; with
+    ``robustness=True`` (the default) a seeded
+    :class:`repro.robust.RobustnessReport` — worst-case period
+    inflation, per-GPU OOM margins, the bisected breaking noise level —
+    is attached to the certificate.  The same ``seed`` always produces
+    a bit-identical report.  Extra keyword arguments
+    (``break_inflation``, ``max_noise_scale``, ``bisect_iters``) pass
+    to :func:`repro.robust.robustness_report`.
+    """
+    if isinstance(plan_result, PlanResult):
+        pattern = plan_result.pattern
+        source = f"certify:{plan_result.algorithm}:{chain.name}"
+    else:
+        pattern = plan_result
+        source = f"certify:{chain.name}"
+    fault = faults.fire("certify", key=source)
+    if fault is not None and fault.action == "fail":
+        obs.inc("certify.failures")
+        cert = Certificate(
+            ok=False,
+            source=source,
+            period=pattern.period if pattern is not None else None,
+            violations=[f"injected certification failure at certify[{source}]"],
+        )
+    else:
+        cert = certify_pattern(chain, platform, pattern, source=source)
+        if cert.ok and pattern is not None and robustness:
+            cert.robustness = robustness_report(
+                chain,
+                platform,
+                pattern,
+                noise=noise,
+                samples=samples,
+                seed=seed,
+                **robust_opts,
+            )
+    if isinstance(plan_result, PlanResult):
+        plan_result.certificate = cert
+    return cert
 
 
 # ------------------------------------------------------------------ sweeps

@@ -6,6 +6,7 @@ Usage::
     python -m repro report rn50.json --top 10
     python -m repro schedule rn50.json -p 4 -m 8 -b 12 --gantt -o sched.json
     python -m repro schedule rn50.json -p 4 -m 8 --trace trace.json --stats
+    python -m repro certify rn50.json -p 4 -m 8 --samples 32 --seed 0 -o cert.json
     python -m repro trace summary trace.json
     python -m repro sweep --networks toy8 --procs 2 4 --out grid.jsonl --resume
     python -m repro cache verify grid.jsonl --fix
@@ -91,6 +92,13 @@ def _print_registry_stats(snap: dict, ilp_status: str | None) -> None:
             f"1F1B*: {snap.get('onef1b.searches', 0)} period searches, "
             f"{snap.get('onef1b.feasible', 0)} feasible"
         )
+    if snap.get("certify.checks"):
+        print(
+            f"certification: {snap.get('certify.checks', 0)} checks, "
+            f"{snap.get('certify.failures', 0)} failed, "
+            f"{snap.get('certify.quarantined', 0)} plans quarantined, "
+            f"{snap.get('certify.fallbacks', 0)} replaced by the 1F1B* fallback"
+        )
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
@@ -113,6 +121,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 grid=getattr(Discretization, args.grid)(),
                 iterations=args.iterations,
                 ilp_time_limit=args.ilp_time_limit,
+                memory_headroom=args.memory_headroom,
             )
             pattern = mp.pattern
     if trace is not None:
@@ -138,6 +147,17 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             print(f"result status: {mp.status}")
             for note in mp.notes:
                 print(f"  - {note}")
+            if mp.certificate is not None:
+                c = mp.certificate
+                line = f"certificate: {'ok' if c.ok else 'FAILED'} [{c.mode}]"
+                if c.periods_simulated:
+                    line += f", {c.periods_simulated} periods simulated"
+                if c.oom_margin:
+                    line += (
+                        f", min OOM margin "
+                        f"{min(c.oom_margin.values()) / 2**30:.3f} GB"
+                    )
+                print(line)
     if pattern is None:
         if mp is not None and mp.status != "ok":
             reason = "; ".join(mp.notes) or mp.status
@@ -153,6 +173,69 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         save_pattern(pattern, args.out)
         print(f"\nwrote schedule to {args.out}")
     return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    """Plan + certify + robustness-stress one profile; emit JSON.
+
+    The payload is a deterministic function of (profile, platform,
+    algorithm options, noise model, samples, seed) — no wall times —
+    so the same invocation always produces byte-identical output.
+    """
+    from .api import certify, plan
+    from .profiling import NoiseModel
+
+    chain = load_chain(args.profile)
+    platform = Platform.of(args.procs, args.memory_gb, args.bandwidth_gbps)
+    opts = {}
+    if args.algorithm == "madpipe":
+        opts = dict(
+            grid=getattr(Discretization, args.grid)(),
+            iterations=args.iterations,
+            ilp_time_limit=args.ilp_time_limit,
+            memory_headroom=args.memory_headroom,
+        )
+    noise = NoiseModel(
+        sigma_compute=args.sigma_compute,
+        sigma_activation=args.sigma_activation,
+        sigma_weight=args.sigma_weight,
+    )
+    registry = obs.MetricsRegistry()
+    with obs.use_metrics(registry):
+        result = plan(chain, platform, algorithm=args.algorithm, **opts)
+        cert = certify(
+            chain,
+            platform,
+            result,
+            robustness=not args.no_robustness,
+            noise=noise,
+            samples=args.samples,
+            seed=args.seed,
+        )
+    payload = {
+        "profile": str(args.profile),
+        "network": chain.name,
+        "algorithm": args.algorithm,
+        "platform": {
+            "n_procs": args.procs,
+            "memory_gb": args.memory_gb,
+            "bandwidth_gbps": args.bandwidth_gbps,
+        },
+        "memory_headroom": args.memory_headroom,
+        "status": result.status,
+        "period": result.period if result.feasible else None,
+        "certificate": cert.to_dict(),
+    }
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        verdict = "certified" if cert.ok else "NOT certified"
+        print(f"{chain.name} [{args.algorithm}]: {verdict}; wrote {args.out}")
+    else:
+        print(text)
+    if args.stats:
+        _print_registry_stats(registry.snapshot(), None)
+    return 0 if cert.ok else 1
 
 
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
@@ -328,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="phase-1 binary-search iterations (madpipe only)",
     )
     p.add_argument(
+        "--memory-headroom", type=float, default=0.0, metavar="FRAC",
+        help="plan against memory*(1-FRAC) per GPU, keeping FRAC in "
+        "reserve against profile noise (madpipe only)",
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
         help="print solver diagnostics (DP states/pruning, ILP probe timings)",
@@ -345,6 +433,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     p.add_argument("-o", "--out", default=None)
     p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser(
+        "certify",
+        help="plan, certify via discrete-event simulation, and stress-test "
+        "under seeded profile noise; emits a deterministic JSON report",
+    )
+    p.add_argument("profile")
+    p.add_argument("-p", "--procs", type=int, required=True)
+    p.add_argument("-m", "--memory-gb", type=float, required=True)
+    p.add_argument("-b", "--bandwidth-gbps", type=float, default=12.0)
+    p.add_argument(
+        "-a", "--algorithm", choices=("madpipe", "pipedream"), default="madpipe"
+    )
+    p.add_argument(
+        "--grid", choices=("coarse", "default", "paper"), default="default"
+    )
+    p.add_argument("--ilp-time-limit", type=float, default=60.0)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument(
+        "--memory-headroom", type=float, default=0.0, metavar="FRAC",
+        help="plan against memory*(1-FRAC) per GPU (madpipe only)",
+    )
+    p.add_argument(
+        "--samples", type=int, default=32,
+        help="noise samples for the robustness report",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed; the same seed reproduces the report bit for bit",
+    )
+    p.add_argument(
+        "--sigma-compute", type=float, default=0.05, metavar="S",
+        help="lognormal sigma on per-layer forward/backward times",
+    )
+    p.add_argument(
+        "--sigma-activation", type=float, default=0.05, metavar="S",
+        help="lognormal sigma on per-layer activation sizes",
+    )
+    p.add_argument(
+        "--sigma-weight", type=float, default=0.0, metavar="S",
+        help="lognormal sigma on per-layer weight sizes",
+    )
+    p.add_argument(
+        "--no-robustness", action="store_true",
+        help="verify only; skip the noise stress test",
+    )
+    p.add_argument("--stats", action="store_true")
+    p.add_argument("-o", "--out", default=None, metavar="PATH")
+    p.set_defaults(func=_cmd_certify)
 
     p = sub.add_parser(
         "sweep",

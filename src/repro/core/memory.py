@@ -19,7 +19,28 @@ from dataclasses import dataclass
 
 from .chain import Chain
 
-__all__ = ["MemoryBreakdown", "stage_memory", "stage_memory_breakdown"]
+__all__ = [
+    "MemoryBreakdown",
+    "effective_capacity",
+    "stage_memory",
+    "stage_memory_breakdown",
+]
+
+
+def effective_capacity(memory: float, headroom: float = 0.0) -> float:
+    """Capacity (bytes) left for *planning* after reserving a safety margin.
+
+    ``headroom`` is the fraction of each GPU reserved for profile drift,
+    fragmentation and allocator overhead: the planners (DP, MILP skeleton,
+    1F1B*) fit their schedules into ``memory * (1 - headroom)`` while
+    certification still measures margins against the full capacity.
+    ``headroom = 0`` returns ``memory`` unchanged (bit-identical default).
+    """
+    if not 0.0 <= headroom < 1.0:
+        raise ValueError(f"memory_headroom must be in [0, 1), got {headroom!r}")
+    if headroom == 0.0:
+        return memory
+    return memory * (1.0 - headroom)
 
 
 @dataclass(frozen=True)

@@ -25,10 +25,9 @@ from .chain import Chain
 from .memory import stage_memory_breakdown
 from .partition import Allocation
 from .platform import Platform
+from .tolerances import CHECK_RTOL, EPS, memory_slack
 
-__all__ = ["Op", "PeriodicPattern", "PatternError", "gpu", "link"]
-
-EPS = 1e-9
+__all__ = ["Op", "PeriodicPattern", "PatternError", "gpu", "link", "EPS"]
 
 # Operation kinds: stage compute and boundary communications.
 F, B, CF, CB = "F", "B", "CF", "CB"
@@ -145,7 +144,7 @@ class PeriodicPattern:
 
     # -- validation -----------------------------------------------------------
 
-    def validate(self, chain: Chain, platform: Platform, tol: float = 1e-6) -> None:
+    def validate(self, chain: Chain, platform: Platform, tol: float = CHECK_RTOL) -> None:
         """Raise :class:`PatternError` on any violation of the semantics."""
         self._validate_structure(chain, platform, tol)
         self._validate_dependencies(tol)
@@ -254,10 +253,17 @@ class PeriodicPattern:
             peaks[p] = peak
         return peaks
 
-    def check_memory(self, chain: Chain, platform: Platform, tol: float = 1e-6) -> None:
-        """Raise :class:`PatternError` if any GPU exceeds its capacity."""
+    def check_memory(self, chain: Chain, platform: Platform, tol: float = CHECK_RTOL) -> None:
+        """Raise :class:`PatternError` if any GPU exceeds its capacity.
+
+        The slack is the combined absolute + relative tolerance of
+        :func:`repro.core.tolerances.memory_slack`, so the check stays
+        meaningful on tiny synthetic capacities where a relative-only
+        slack degenerates to float noise.
+        """
+        cap = platform.memory + memory_slack(platform.memory, tol)
         for p, peak in self.memory_peaks(chain).items():
-            if peak > platform.memory * (1 + tol):
+            if peak > cap:
                 raise PatternError(
                     f"GPU {p} peak memory {peak / 2**30:.2f} GiB exceeds "
                     f"capacity {platform.memory / 2**30:.2f} GiB"

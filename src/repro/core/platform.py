@@ -64,6 +64,17 @@ class Platform:
         """Alias for :attr:`n_procs` matching the paper's notation."""
         return self.n_procs
 
+    def with_headroom(self, headroom: float) -> "Platform":
+        """The same platform with ``headroom`` (a fraction of each GPU's
+        memory) reserved as a planning safety margin; ``self`` when zero.
+        """
+        from .memory import effective_capacity
+
+        capacity = effective_capacity(self.memory, headroom)
+        if capacity == self.memory:
+            return self
+        return Platform(self.n_procs, capacity, self.bandwidth)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Platform(P={self.n_procs}, M={self.memory / GB:.1f}GB, "

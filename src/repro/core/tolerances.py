@@ -1,0 +1,49 @@
+"""Shared numerical tolerances for pattern validation and simulation.
+
+PR 2 consolidated the *solver-side* constants (``GROUP_FIT_RTOL`` etc. in
+:mod:`repro.algorithms.onef1b`, shared with the reference kernels so both
+make bit-identical decisions).  This module does the same for the
+*checking* side — analytic pattern validation, the discrete-event
+simulator and the certification layer — which previously each carried
+their own ``EPS = 1e-9`` and ``tol=1e-6`` defaults.
+
+Values are unchanged from the historical per-module constants; only the
+spelling is shared.
+
+Memory-feasibility checks use a *combined* absolute + relative slack
+(:func:`memory_slack`).  A purely relative slack ``capacity * (1 + tol)``
+misbehaves at both ends of the capacity scale: on multi-GiB platforms it
+silently grants tens of kilobytes, while on tiny synthetic platforms
+(the ``toy<L>`` networks) it collapses below the float error of the peak
+summation itself, so whether an exactly-at-capacity pattern passes is
+decided by rounding luck rather than by the model.  Anchoring the slack
+at :data:`MEMORY_ABS_TOL` bytes makes the small-capacity behaviour
+deterministic without changing the verdict on realistic platforms, where
+the relative term dominates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EPS", "CHECK_RTOL", "MEMORY_ABS_TOL", "memory_slack"]
+
+#: Event/normalization epsilon for period folding and batch counting
+#: (historically ``core.pattern.EPS`` and ``sim.engine._EPS``).
+EPS = 1e-9
+
+#: Default relative tolerance of the analytic validation checks, the
+#: discrete-event simulator and :func:`repro.sim.verify_pattern`
+#: (historically the scattered ``tol=1e-6`` defaults).
+CHECK_RTOL = 1e-6
+
+#: Absolute floor (bytes) of the memory-feasibility slack.
+MEMORY_ABS_TOL = 1.0
+
+
+def memory_slack(capacity: float, rtol: float = CHECK_RTOL) -> float:
+    """Allowed overshoot (bytes) when checking a peak against ``capacity``.
+
+    Combined absolute + relative tolerance: ``max(MEMORY_ABS_TOL,
+    rtol * capacity)``.  Feasibility check: ``peak > capacity +
+    memory_slack(capacity, rtol)`` ⇒ violation.
+    """
+    return max(MEMORY_ABS_TOL, rtol * capacity)

@@ -18,7 +18,10 @@ solid lines), plus a ``status`` recording how the instance ended:
     certified: no valid schedule exists for the instance;
 ``error``
     the instance crashed or exceeded its deadline repeatedly and was
-    recorded instead of re-raised (``on_exhausted="record"``).
+    recorded instead of re-raised (``on_exhausted="record"``), *or* its
+    schedule failed the discrete-event certification gate and no
+    certified fallback existed — the quarantined period is withheld
+    (``valid_period = inf``), never recorded as valid.
 
 Sweeps are built to *survive*:
 
@@ -62,6 +65,7 @@ from ..algorithms.madpipe_dp import Discretization
 from ..algorithms.pipedream import pipedream
 from ..core.chain import Chain
 from ..core.platform import GB, GBPS, Platform
+from ..robust import certify_pattern
 from ..testing import faults
 from .scenarios import paper_chain
 
@@ -178,6 +182,21 @@ def run_instance(
                     "infeasible",
                     "pipedream found no memory-feasible schedule",
                 )
+            else:
+                # certification gate: pipedream has no fallback schedule,
+                # so a rejected pattern is quarantined as an error, never
+                # recorded as a valid period
+                cert = certify_pattern(
+                    chain,
+                    platform,
+                    res.schedule.pattern if res.schedule is not None else None,
+                    source=f"pipedream:{network or chain.name}",
+                )
+                if not cert.ok:
+                    obs.inc("certify.quarantined")
+                    valid = INF
+                    status = "error"
+                    failure = "certification failed: " + "; ".join(cert.violations)
         elif algorithm == "madpipe":
             res = madpipe(
                 chain,

@@ -43,7 +43,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint
 
 from ..core.chain import Chain
-from ..core.memory import stage_memory_breakdown
+from ..core.memory import effective_capacity, stage_memory_breakdown
 from ..core.partition import Allocation
 from ..core.pattern import gpu, link
 from ..core.platform import Platform
@@ -195,11 +195,15 @@ def build_skeleton(
     allocation: Allocation,
     *,
     max_shift: int | None = None,
+    memory_headroom: float = 0.0,
 ) -> MilpSkeleton:
     """Assemble the period-independent part of the MILP for ``allocation``.
 
     Raises ``ValueError`` when static memory (weights + buffers) alone
-    exceeds some GPU's capacity — no period can fix that.
+    exceeds some GPU's capacity — no period can fix that.  A nonzero
+    ``memory_headroom`` derates every GPU's capacity in the memory rows
+    (see :func:`repro.core.memory.effective_capacity`), so the solved
+    schedule is guaranteed to leave that margin free.
     """
     ops, dur, res = _operations(chain, platform, allocation)
     n_ops = len(ops)
@@ -266,7 +270,7 @@ def build_skeleton(
             return y_index[(before, after)], 1.0, 0.0
         return y_index[(after, before)], -1.0, 1.0
 
-    M = platform.memory
+    M = effective_capacity(platform.memory, memory_headroom)
     for p in sorted(allocation.procs_used()):
         stage_idxs = allocation.stages_on_proc(p)
         static = 0.0
@@ -357,15 +361,21 @@ def build_milp(
     *,
     max_shift: int | None = None,
     skeleton: MilpSkeleton | None = None,
+    memory_headroom: float = 0.0,
 ) -> ScheduleMILP:
     """Assemble the MILP for scheduling ``allocation`` with period ``T``.
 
     Pass a cached ``skeleton`` (from :func:`build_skeleton`) to skip the
     period-independent work; the result is identical either way.
+    ``memory_headroom`` only matters when no skeleton is supplied (a
+    cached skeleton already has its capacity baked in).
     """
     if period <= 0:
         raise ValueError("period must be positive")
     if skeleton is None:
-        skeleton = build_skeleton(chain, platform, allocation, max_shift=max_shift)
+        skeleton = build_skeleton(
+            chain, platform, allocation,
+            max_shift=max_shift, memory_headroom=memory_headroom,
+        )
     _metric_inc("ilp.model_builds")
     return skeleton.instantiate(period)

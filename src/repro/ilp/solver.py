@@ -51,6 +51,7 @@ from ..core.chain import Chain
 from ..core.partition import Allocation
 from ..core.pattern import Op, PatternError, PeriodicPattern
 from ..core.platform import Platform
+from ..core.tolerances import CHECK_RTOL
 from ..testing import faults
 from .formulation import MilpSkeleton, ScheduleMILP, build_milp, build_skeleton
 
@@ -192,10 +193,24 @@ def _solve_model(
     pattern = _extract_pattern(model, res.x, allocation)
     try:
         pattern.validate(chain, platform)
-        pattern.check_memory(chain, platform, tol=1e-6)
+        pattern.check_memory(chain, platform, tol=CHECK_RTOL)
     except PatternError:
         return None, None, "invalid"  # numerical artifacts: infeasible probe
-    return pattern, res.x, ("ok" if res.success else "incumbent")
+    status = "ok" if res.success else "incumbent"
+    if status == "incumbent":
+        # A budget-limited incumbent skipped HiGHS's optimality proof, so
+        # the analytic checks above are its only vetting — gate it through
+        # the discrete-event verifier before accepting it (rejection is
+        # treated like any other invalid probe: conservative infeasible).
+        from ..robust.certify import certify_pattern
+
+        cert = certify_pattern(
+            chain, platform, pattern, source=f"ilp.incumbent:T={model.period:.9g}"
+        )
+        if not cert.ok:
+            obs.inc("ilp.incumbent_rejected")
+            return None, None, "invalid"
+    return pattern, res.x, status
 
 
 def solve_fixed_period(
@@ -206,6 +221,7 @@ def solve_fixed_period(
     *,
     time_limit: float = 60.0,
     skeleton: MilpSkeleton | None = None,
+    memory_headroom: float = 0.0,
 ) -> PeriodicPattern | None:
     """Feasibility MILP at a fixed period; returns a pattern or ``None``.
 
@@ -214,7 +230,10 @@ def solve_fixed_period(
     cached ``skeleton`` to skip the period-independent model build.
     """
     try:
-        model = build_milp(chain, platform, allocation, period, skeleton=skeleton)
+        model = build_milp(
+            chain, platform, allocation, period,
+            skeleton=skeleton, memory_headroom=memory_headroom,
+        )
     except ValueError:
         return None  # static memory alone exceeds capacity
     pattern, _, _ = _solve_model(chain, platform, allocation, model, time_limit)
@@ -317,6 +336,7 @@ def schedule_allocation(
     max_probes: int = 20,
     time_limit: float = 60.0,
     reuse_skeleton: bool = True,
+    memory_headroom: float = 0.0,
 ) -> ILPScheduleResult:
     """Smallest-period valid pattern for ``allocation``.
 
@@ -324,6 +344,9 @@ def schedule_allocation(
     MILP can certify feasible.  See the module docstring for the search
     strategy; ``reuse_skeleton=False`` rebuilds every probe's model from
     scratch (same probes, same answer — kept for the equivalence test).
+    ``memory_headroom`` derates the capacity of the MILP's memory rows
+    (and the 1F1B\\* bracketing hint), so the schedule leaves the
+    requested per-GPU margin.
 
     Instrumented: the whole search runs under an ``ilp.search`` span,
     each MILP probe/LP jump emits its own span with build/solve
@@ -343,6 +366,7 @@ def schedule_allocation(
             max_probes,
             time_limit,
             reuse_skeleton,
+            memory_headroom,
             search_span,
         )
     obs.inc("ilp.searches")
@@ -365,6 +389,7 @@ def _schedule_allocation(
     max_probes: int,
     time_limit: float,
     reuse_skeleton: bool,
+    memory_headroom: float,
     search_span,
 ) -> ILPScheduleResult:
     """The uninstrumented period search; see :func:`schedule_allocation`."""
@@ -391,7 +416,9 @@ def _schedule_allocation(
 
     try:
         with obs.span("ilp.build_skeleton", n_stages=allocation.n_stages):
-            skeleton = build_skeleton(chain, platform, allocation)
+            skeleton = build_skeleton(
+                chain, platform, allocation, memory_headroom=memory_headroom
+            )
         obs.inc("ilp.skeleton_builds")
     except ValueError:
         # static memory (weights+buffers) alone exceeds some GPU: no
@@ -424,7 +451,7 @@ def _schedule_allocation(
                 if T_lp < state["hi"] * (1 - 1e-12):
                     try:
                         pattern.validate(chain, platform)
-                        pattern.check_memory(chain, platform, tol=1e-6)
+                        pattern.check_memory(chain, platform, tol=CHECK_RTOL)
                     except PatternError:
                         out, jump_status = None, "invalid"
                     else:
@@ -453,7 +480,10 @@ def _schedule_allocation(
             "ilp.probe", T=T, feasibility_only=feasibility_only
         ) as probe_span:
             t0 = time.perf_counter()
-            model = build_milp(chain, platform, allocation, T, skeleton=probe_skeleton)
+            model = build_milp(
+                chain, platform, allocation, T,
+                skeleton=probe_skeleton, memory_headroom=memory_headroom,
+            )
             t1 = time.perf_counter()
             pattern, x, probe_status = _solve_model(
                 chain, platform, allocation, model, time_limit,
@@ -495,7 +525,8 @@ def _schedule_allocation(
         from ..algorithms.onef1b import min_feasible_period
 
         star = min_feasible_period(
-            chain, platform, allocation.partitioning, build=False
+            chain, platform, allocation.partitioning,
+            build=False, memory_headroom=memory_headroom,
         )
         if star is not None and lower < star.period < seq:
             ladder.append(star.period)

@@ -22,6 +22,7 @@ from ..core.chain import Chain
 from ..core.partition import Allocation
 from ..core.pattern import PatternError
 from ..core.platform import Platform
+from ..core.tolerances import CHECK_RTOL
 from .formulation import build_milp
 from .solver import (
     ILPScheduleResult,
@@ -64,7 +65,7 @@ def _timed_probe(
             status = "ok"
             try:
                 pattern.validate(chain, platform)
-                pattern.check_memory(chain, platform, tol=1e-6)
+                pattern.check_memory(chain, platform, tol=CHECK_RTOL)
             except PatternError:
                 pattern, status = None, "invalid"
         elif res.status == 1:

@@ -1,10 +1,12 @@
 """Profiling substrate: device cost model and profile persistence."""
 
-from .cost_model import profile_model
+from .cost_model import NoiseModel, perturb_chain, profile_model
 from .device import RTX8000, V100, DeviceSpec
 from .io import dumps_chain, load_chain, loads_chain, save_chain
 
 __all__ = [
+    "NoiseModel",
+    "perturb_chain",
     "profile_model",
     "DeviceSpec",
     "V100",

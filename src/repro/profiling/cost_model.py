@@ -3,15 +3,132 @@
 ``profile_model`` attaches, to every graph node, the quantities the chain
 model needs (paper §3): forward/backward durations for a mini-batch of
 size ``B``, parameter bytes, and output activation bytes.
+
+Profiles are noisy in practice — kernel autotuning, clock throttling and
+allocator variance all move the measured ``u_F``/``u_B``/``a_l``/``W_l``
+between runs.  :class:`NoiseModel` describes that uncertainty as
+independent multiplicative noise per profiled quantity;
+:mod:`repro.robust` samples it to stress-test certified plans.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.chain import Chain, LayerProfile
 from ..models.graph import ModelGraph
 from ..models.layers import numel
 from .device import DeviceSpec
 
-__all__ = ["profile_model"]
+__all__ = ["NoiseModel", "perturb_chain", "profile_model"]
+
+_DISTRIBUTIONS = ("lognormal", "uniform")
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative noise on a profiled chain.
+
+    Each quantity of each layer gets an independent factor: for the
+    ``lognormal`` distribution ``exp(sigma · z)`` with ``z`` standard
+    normal (median 1, always positive); for ``uniform`` it is
+    ``1 + sigma · u`` with ``u ~ U(−1, 1)`` (clipped below at a tiny
+    positive value when ``sigma > 1``).  ``sigma_compute`` drives
+    ``u_F``/``u_B``, ``sigma_activation`` the activation sizes ``a_l``
+    (including the input activation ``a_0``), ``sigma_weight`` the
+    parameter bytes ``W_l``.
+
+    Sampling is split into :meth:`draw` (the raw standard draws) and
+    :meth:`apply` (turn one draw into a perturbed :class:`Chain`, with an
+    optional ``scale`` multiplying every sigma) so callers can reuse one
+    set of draws across noise levels — the common-random-numbers scheme
+    the robustness bisection needs for a deterministic, monotone sweep.
+    """
+
+    sigma_compute: float = 0.05
+    sigma_activation: float = 0.05
+    sigma_weight: float = 0.0
+    distribution: str = "lognormal"
+
+    def __post_init__(self) -> None:
+        for attr in ("sigma_compute", "sigma_activation", "sigma_weight"):
+            v = getattr(self, attr)
+            if not isinstance(v, (int, float)) or not np.isfinite(v) or v < 0:
+                raise ValueError(f"{attr} must be a finite non-negative number, got {v!r}")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; choose from {_DISTRIBUTIONS}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "sigma_compute": self.sigma_compute,
+            "sigma_activation": self.sigma_activation,
+            "sigma_weight": self.sigma_weight,
+            "distribution": self.distribution,
+        }
+
+    def draw(self, rng: np.random.Generator, samples: int, n_layers: int) -> np.ndarray:
+        """Standard draws of shape ``(samples, n_layers + 1, 4)``.
+
+        Row 0 holds the input-activation draw (column 3); rows ``1..L``
+        hold per-layer draws in column order ``(u_f, u_b, W, a)``.
+        """
+        shape = (samples, n_layers + 1, 4)
+        if self.distribution == "lognormal":
+            return rng.standard_normal(shape)
+        return rng.uniform(-1.0, 1.0, size=shape)
+
+    def factors(self, draws: np.ndarray, scale: float = 1.0) -> np.ndarray:
+        """Multiplicative factors for one draw matrix (any leading shape,
+        trailing axis = the 4 quantity columns)."""
+        sigma = np.array([
+            self.sigma_compute,
+            self.sigma_compute,
+            self.sigma_weight,
+            self.sigma_activation,
+        ])
+        z = draws * (scale * sigma)
+        if self.distribution == "lognormal":
+            return np.exp(z)
+        return np.maximum(1.0 + z, 1e-12)
+
+    def apply(self, chain: Chain, draws: np.ndarray, scale: float = 1.0) -> Chain:
+        """A perturbed copy of ``chain`` for one draw matrix of shape
+        ``(L + 1, 4)`` (see :meth:`draw`)."""
+        if draws.shape != (chain.L + 1, 4):
+            raise ValueError(
+                f"draws must have shape ({chain.L + 1}, 4), got {draws.shape}"
+            )
+        fac = self.factors(draws, scale)
+        layers = [
+            LayerProfile(
+                name=layer.name,
+                u_f=layer.u_f * f[0],
+                u_b=layer.u_b * f[1],
+                weights=layer.weights * f[2],
+                activation=layer.activation * f[3],
+            )
+            for layer, f in zip(chain.layers, fac[1:])
+        ]
+        return Chain(
+            layers=layers,
+            input_activation=chain.input_activation * fac[0, 3],
+            name=chain.name,
+        )
+
+
+def perturb_chain(
+    chain: Chain,
+    noise: NoiseModel,
+    rng: np.random.Generator,
+    *,
+    scale: float = 1.0,
+) -> Chain:
+    """One perturbed copy of ``chain`` sampled from ``noise``."""
+    return noise.apply(chain, noise.draw(rng, 1, chain.L)[0], scale)
 
 
 def profile_model(graph: ModelGraph, device: DeviceSpec, batch_size: int) -> None:

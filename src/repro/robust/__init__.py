@@ -1,0 +1,19 @@
+"""Plan certification and robustness-under-uncertainty (the gate layer).
+
+Every pattern the planners emit passes through :func:`certify_pattern`
+— the discrete-event verifier of :mod:`repro.sim` wrapped with
+observability and fault injection — before it is accepted;
+:func:`robustness_report` stress-tests a certified plan under seeded
+multiplicative profile noise (see
+:class:`repro.profiling.NoiseModel`).
+"""
+
+from .certify import Certificate, certify_pattern
+from .perturb import RobustnessReport, robustness_report
+
+__all__ = [
+    "Certificate",
+    "certify_pattern",
+    "RobustnessReport",
+    "robustness_report",
+]

@@ -20,10 +20,9 @@ from ..core.chain import Chain
 from ..core.memory import stage_memory_breakdown
 from ..core.pattern import PeriodicPattern
 from ..core.platform import Platform
+from ..core.tolerances import CHECK_RTOL, memory_slack
 
 __all__ = ["Execution", "SimReport", "simulate"]
-
-_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -75,7 +74,7 @@ def simulate(
     pattern: PeriodicPattern,
     *,
     periods: int = 10,
-    tol: float = 1e-6,
+    tol: float = CHECK_RTOL,
 ) -> SimReport:
     """Unroll and execute ``pattern`` for ``periods`` periods.
 
@@ -147,8 +146,9 @@ def simulate(
                 )
 
     peak, timeline = _memory_trace(chain, alloc, executions, horizon, tol)
+    cap = platform.memory + memory_slack(platform.memory, tol)
     for p, m in peak.items():
-        if m > platform.memory * (1 + tol):
+        if m > cap:
             violations.append(
                 f"GPU {p} peak memory {m / 2**30:.3f} GiB exceeds "
                 f"{platform.memory / 2**30:.3f} GiB"
@@ -173,7 +173,7 @@ def _memory_trace(
     alloc,
     executions: list[Execution],
     horizon: float,
-    tol: float = 1e-6,
+    tol: float = CHECK_RTOL,
 ) -> tuple[dict[int, float], dict[int, list[tuple[float, float]]]]:
     """Per-GPU memory as a step function: static (weights + buffers) plus
     one stored-activation set per batch between its forward start and its

@@ -10,6 +10,7 @@ from __future__ import annotations
 from ..core.chain import Chain
 from ..core.pattern import PatternError, PeriodicPattern
 from ..core.platform import Platform
+from ..core.tolerances import CHECK_RTOL, MEMORY_ABS_TOL
 from .engine import SimReport, simulate
 
 __all__ = ["verify_pattern"]
@@ -21,7 +22,7 @@ def verify_pattern(
     pattern: PeriodicPattern,
     *,
     periods: int | None = None,
-    tol: float = 1e-6,
+    tol: float = CHECK_RTOL,
 ) -> SimReport:
     """Validate ``pattern`` analytically and by execution.
 
@@ -44,7 +45,7 @@ def verify_pattern(
     # cross-check: executed peaks must match the analytic steady state
     analytic = pattern.memory_peaks(chain)
     for p, m_exec in report.peak_memory.items():
-        if m_exec > analytic[p] * (1 + tol) + 1.0:
+        if m_exec > analytic[p] * (1 + tol) + MEMORY_ABS_TOL:
             raise PatternError(
                 f"GPU {p}: executed peak {m_exec:.6g} exceeds analytic "
                 f"steady state {analytic[p]:.6g}"

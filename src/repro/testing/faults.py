@@ -24,13 +24,20 @@ site               where                                      actions
 ``milp_solve``     before each HiGHS MILP probe               timeout
 ``cache_flush``    after each :class:`ResultCache` write,     truncate
                    keyed by the cache path
+``sim_verify``     before each discrete-event verification    fail
+                   in the certification gate, keyed by the
+                   pattern's source label
+``certify``        entry of :func:`repro.api.certify`,        fail
+                   keyed by the plan's source label
 =================  =========================================  ===================
 
 Actions ``raise`` (raise :class:`FaultInjected`), ``exit``
 (``os._exit`` — a hard kill that skips all cleanup, like SIGKILL) and
 ``sleep`` (``time.sleep(param)`` seconds) are executed by :func:`fire`
-itself.  ``timeout`` and ``truncate`` are returned to the call site,
-which knows how to simulate a solver budget hit or tear its own file.
+itself.  ``timeout``, ``truncate`` and ``fail`` are returned to the call
+site, which knows how to simulate a solver budget hit, tear its own
+file, or report a failed certification (exercising the quarantine /
+fallback path without needing a genuinely invalid pattern).
 """
 
 from __future__ import annotations
@@ -45,7 +52,7 @@ __all__ = ["Fault", "FaultInjected", "active", "clear", "fire", "install"]
 
 ENV_VAR = "REPRO_FAULTS"
 
-_ACTIONS = ("raise", "exit", "sleep", "timeout", "truncate")
+_ACTIONS = ("raise", "exit", "sleep", "timeout", "truncate", "fail")
 
 
 class FaultInjected(RuntimeError):
@@ -138,7 +145,7 @@ def fire(site: str, key: str = "") -> Fault | None:
 
     Executes ``raise``/``exit``/``sleep`` faults in place.  Returns the
     matching :class:`Fault` for actions the call site must enact itself
-    (``timeout``, ``truncate``), else ``None``.
+    (``timeout``, ``truncate``, ``fail``), else ``None``.
     """
     plan = _plan()
     if plan is None:
@@ -157,5 +164,5 @@ def fire(site: str, key: str = "") -> Fault | None:
         if fault.action == "sleep":
             time.sleep(fault.param)
             return None
-        return fault  # "timeout" / "truncate": enacted by the call site
+        return fault  # "timeout" / "truncate" / "fail": enacted by the call site
     return None

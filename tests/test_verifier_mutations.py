@@ -1,0 +1,99 @@
+"""Mutation tests for the discrete-event verifier.
+
+The certification gate is only as strong as :func:`repro.sim.verify_pattern`;
+these tests mutate a known-valid pattern in the four canonical ways a
+buggy planner could break one — misplacing an op, dropping a dependency
+edge (a communication op), inflating a duration, overfilling a GPU — and
+require the verifier to reject every mutant while accepting the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.pipedream import pipedream
+from repro.core.pattern import PatternError, PeriodicPattern
+from repro.core.platform import Platform
+from repro.sim import verify_pattern
+
+MB = float(2**20)
+
+
+@pytest.fixture
+def planned(uniform8, roomy4):
+    """A certified-valid (chain, platform, pattern) triple with comm ops."""
+    res = pipedream(uniform8, roomy4)
+    assert res.feasible and res.schedule is not None
+    pattern = res.schedule.pattern
+    assert any(k[0] == "CF" for k in pattern.ops), "need cut boundaries"
+    return uniform8, roomy4, pattern
+
+
+def mutate(pattern: PeriodicPattern, changes: dict) -> PeriodicPattern:
+    """Copy ``pattern`` with selected ops replaced (key -> field dict)."""
+    ops = dict(pattern.ops)
+    for key, fields in changes.items():
+        ops[key] = dataclasses.replace(ops[key], **fields)
+    return PeriodicPattern(
+        allocation=pattern.allocation, period=pattern.period, ops=ops
+    )
+
+
+class TestVerifierMutations:
+    def test_unmutated_pattern_passes(self, planned):
+        chain, platform, pattern = planned
+        report = verify_pattern(chain, platform, pattern)
+        assert not report.violations
+
+    def test_shifted_op_rejected(self, planned):
+        """Moving a backward onto its own forward's start violates the
+        F_i -> B_i dependency (and overlaps the GPU)."""
+        chain, platform, pattern = planned
+        f = pattern.ops[("F", 0)]
+        mutant = mutate(pattern, {("B", 0): dict(start=f.start, shift=f.shift)})
+        with pytest.raises(PatternError):
+            verify_pattern(chain, platform, mutant)
+
+    def test_dropped_dependency_edge_rejected(self, planned):
+        """Deleting the activation transfer of a cut boundary severs the
+        F_i -> CF_i -> F_{i+1} dependency chain."""
+        chain, platform, pattern = planned
+        key = next(k for k in pattern.ops if k[0] == "CF")
+        ops = {k: v for k, v in pattern.ops.items() if k != key}
+        mutant = PeriodicPattern(
+            allocation=pattern.allocation, period=pattern.period, ops=ops
+        )
+        with pytest.raises(PatternError):
+            verify_pattern(chain, platform, mutant)
+
+    def test_inflated_duration_rejected(self, planned):
+        """Tripling one op's duration makes it collide with its resource
+        neighbours (the 1F1B* pattern is tightly packed)."""
+        chain, platform, pattern = planned
+        key = ("F", 0)
+        mutant = mutate(pattern, {key: dict(duration=3.0 * pattern.ops[key].duration)})
+        with pytest.raises(PatternError):
+            verify_pattern(chain, platform, mutant)
+
+    def test_overfilled_gpu_rejected(self, planned):
+        """The same pattern on a platform with a fraction of the memory
+        must trip the capacity check."""
+        chain, platform, pattern = planned
+        peak = max(pattern.memory_peaks(chain).values())
+        tight = Platform(
+            n_procs=platform.n_procs,
+            memory=0.5 * peak,
+            bandwidth=platform.bandwidth,
+        )
+        with pytest.raises(PatternError):
+            verify_pattern(chain, tight, pattern)
+
+    def test_wrong_resource_rejected(self, planned):
+        chain, platform, pattern = planned
+        op = pattern.ops[("F", 0)]
+        other = ("gpu", (op.resource[1] + 1) % platform.n_procs)
+        mutant = mutate(pattern, {("F", 0): dict(resource=other)})
+        with pytest.raises(PatternError):
+            verify_pattern(chain, platform, mutant)
