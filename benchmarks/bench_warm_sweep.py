@@ -1,0 +1,257 @@
+"""Sweep-level warm-start benchmark: cold vs warm full-grid wall time.
+
+Measures what PR-level single-solve benchmarks (``BENCH_dp.json``,
+``BENCH_phase2.json``) cannot: the cross-instance reuse of
+:mod:`repro.warmstart` over a neighboring grid.  Three passes over the
+paper ResNet-50/101 (P, M) grid, every instance driven individually
+through :func:`repro.experiments.run_grid` so each gets its own metrics
+registry (per-instance wall time and probe counts):
+
+* **cold** — ``warm_start=False``, no cache: every instance from
+  scratch (the pre-warm-start baseline);
+* **insweep** — ``warm_start=True``, no cache: only the in-sweep
+  mechanisms (DP row forwarding, phase-1/1F1B* memos across MadPipe's
+  fallback + certification re-searches, skeleton retargeting and the
+  infeasibility frontier across neighbors);
+* **warm** — ``warm_start=True`` against a result database primed from
+  a coarser memory subgrid (the resumed-sweep scenario the JSONL
+  ``ResultCache`` makes routine): subgrid instances are served from the
+  database, the rest solve warm next to them.
+
+Instances run at *descending* memory within each (network, P) group so
+infeasibility certificates flow from roomy instances to tight ones.
+Every pass must produce bit-identical ``RunResult``\\ s (all fields but
+``runtime_s``); the benchmark asserts this before reporting.
+
+``probes_saved`` per instance: the ``warm.probes_saved`` counter for
+warm-solved instances, and the instance's full cold probe count
+(DP + MILP) when the database served it outright.
+
+The measurement core is importable — ``scripts/bench_report.py`` uses it
+to emit ``BENCH_warm.json``.  Run under pytest for the smoke mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs, warmstart
+from repro.algorithms.madpipe_dp import Discretization
+from repro.experiments.harness import ResultCache, run_grid
+
+# the paper evaluation slice: the two ResNets over the full memory axis
+NETWORKS = ("resnet50", "resnet101")
+PROCS = (4, 8)
+MEMORIES_GB = (3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0)
+#: The coarser subgrid a prior sweep left in the warm-start database.
+DB_MEMORIES_GB = (3.0, 6.0, 10.0, 14.0)
+BANDWIDTH_GBPS = 12.0
+ITERATIONS = 8
+ILP_TIME_LIMIT = 30.0
+
+SMOKE = dict(
+    networks=("toy5",),
+    procs=(2,),
+    memories_gb=(0.25, 0.5, 1.0),
+    db_memories_gb=(0.5,),
+    iterations=4,
+    ilp_time_limit=10.0,
+)
+
+
+def _instances(networks, procs, memories) -> list[tuple[str, int, float]]:
+    """Bench order: memory descending within each (network, P) group."""
+    return [
+        (network, p, m)
+        for network in networks
+        for p in procs
+        for m in sorted(memories, reverse=True)
+    ]
+
+
+def _run_one(
+    network: str,
+    p: int,
+    m: float,
+    *,
+    warm: bool,
+    cache: ResultCache | None,
+    iterations: int,
+    ilp_time_limit: float,
+) -> tuple[object, float, dict]:
+    """One instance through the harness under its own registry."""
+    registry = obs.MetricsRegistry()
+    t0 = time.perf_counter()
+    with obs.use_metrics(registry):
+        (res,) = run_grid(
+            (network,),
+            (p,),
+            (m,),
+            (BANDWIDTH_GBPS,),
+            algorithms=("madpipe",),
+            grid=Discretization.coarse(),
+            iterations=iterations,
+            ilp_time_limit=ilp_time_limit,
+            cache=cache,
+            warm_start=warm,
+        )
+    return res, time.perf_counter() - t0, registry.snapshot()
+
+
+def _probes(snap: dict) -> int:
+    return int(snap.get("dp.probes", 0) + snap.get("ilp.milp_probes", 0))
+
+
+def _strip(res) -> object:
+    return dataclasses.replace(res, runtime_s=0.0)
+
+
+def run_bench(
+    *,
+    smoke: bool = False,
+    networks: tuple[str, ...] | None = None,
+    procs: tuple[int, ...] | None = None,
+    memories_gb: tuple[float, ...] | None = None,
+    db_memories_gb: tuple[float, ...] | None = None,
+    iterations: int | None = None,
+    ilp_time_limit: float | None = None,
+) -> dict:
+    """The three-pass measurement; returns a JSON-ready result dict."""
+    cfg = dict(
+        networks=NETWORKS,
+        procs=PROCS,
+        memories_gb=MEMORIES_GB,
+        db_memories_gb=DB_MEMORIES_GB,
+        iterations=ITERATIONS,
+        ilp_time_limit=ILP_TIME_LIMIT,
+    )
+    if smoke:
+        cfg.update(SMOKE)
+    for key, override in (
+        ("networks", networks),
+        ("procs", procs),
+        ("memories_gb", memories_gb),
+        ("db_memories_gb", db_memories_gb),
+        ("iterations", iterations),
+        ("ilp_time_limit", ilp_time_limit),
+    ):
+        if override is not None:
+            cfg[key] = override
+    run_opts = dict(
+        iterations=cfg["iterations"], ilp_time_limit=cfg["ilp_time_limit"]
+    )
+    insts = _instances(cfg["networks"], cfg["procs"], cfg["memories_gb"])
+
+    # pass 1: cold baseline
+    warmstart.reset_process_context()
+    cold: dict[tuple, tuple] = {}
+    for key in insts:
+        cold[key] = _run_one(*key, warm=False, cache=None, **run_opts)
+
+    # pass 2: in-sweep warm (no database)
+    warmstart.reset_process_context()
+    insweep: dict[tuple, tuple] = {}
+    for key in insts:
+        insweep[key] = _run_one(*key, warm=True, cache=None, **run_opts)
+
+    # pass 3: warm against a database primed from the memory subgrid
+    warmstart.reset_process_context()
+    db_build_s = 0.0
+    warm: dict[tuple, tuple] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "warm_db.jsonl")
+        for key in _instances(cfg["networks"], cfg["procs"], cfg["db_memories_gb"]):
+            _, wall, _ = _run_one(*key, warm=True, cache=cache, **run_opts)
+            db_build_s += wall
+        for key in insts:
+            warm[key] = _run_one(*key, warm=True, cache=cache, **run_opts)
+
+    records = []
+    identical = True
+    for key in insts:
+        network, p, m = key
+        res_c, wall_c, snap_c = cold[key]
+        res_i, wall_i, _ = insweep[key]
+        res_w, wall_w, snap_w = warm[key]
+        identical &= _strip(res_c) == _strip(res_i) == _strip(res_w)
+        served = snap_w.get("sweep.cache_hits", 0) > 0
+        probes_cold = _probes(snap_c)
+        probes_saved = (
+            probes_cold if served else int(snap_w.get("warm.probes_saved", 0))
+        )
+        records.append(
+            {
+                "network": network,
+                "n_procs": p,
+                "memory_gb": m,
+                "status": res_c.status,
+                "cold_s": wall_c,
+                "insweep_s": wall_i,
+                "warm_s": wall_w,
+                "probes_cold": probes_cold,
+                "probes_warm": 0 if served else _probes(snap_w),
+                "probes_saved": probes_saved,
+                "served_from_db": served,
+            }
+        )
+    if not identical:
+        raise AssertionError("warm results diverged from cold (bit-identity)")
+
+    cold_s = sum(r["cold_s"] for r in records)
+    insweep_s = sum(r["insweep_s"] for r in records)
+    warm_s = sum(r["warm_s"] for r in records)
+    return {
+        "config": {k: list(v) if isinstance(v, tuple) else v for k, v in cfg.items()},
+        "instances": records,
+        "n_instances": len(records),
+        "cold_s": cold_s,
+        "insweep_s": insweep_s,
+        "warm_s": warm_s,
+        "db_build_s": db_build_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "insweep_speedup": cold_s / insweep_s if insweep_s > 0 else float("inf"),
+        "probes_saved_total": sum(r["probes_saved"] for r in records),
+        "instances_with_savings": sum(
+            1 for r in records if r["probes_saved"] > 0
+        ),
+        "identical": identical,
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"{'network':>12} {'P':>3} {'M (GB)':>7} {'cold (s)':>9} "
+        f"{'warm (s)':>9} {'saved':>6} {'db':>3}"
+    ]
+    for r in result["instances"]:
+        lines.append(
+            f"{r['network']:>12} {r['n_procs']:>3} {r['memory_gb']:>7.2f} "
+            f"{r['cold_s']:>9.3f} {r['warm_s']:>9.3f} "
+            f"{r['probes_saved']:>6d} {'db' if r['served_from_db'] else '-':>3}"
+        )
+    lines.append(
+        f"cold {result['cold_s']:.2f}s | insweep {result['insweep_s']:.2f}s "
+        f"({result['insweep_speedup']:.2f}x) | warm+db {result['warm_s']:.2f}s "
+        f"({result['speedup']:.2f}x; db built warm in {result['db_build_s']:.2f}s) | "
+        f"probes saved {result['probes_saved_total']} over "
+        f"{result['instances_with_savings']}/{result['n_instances']} instances"
+    )
+    return "\n".join(lines)
+
+
+def test_warm_sweep_smoke():
+    """Smoke run on the toy grid so the benchmark harness cannot rot:
+    warm must match cold bit for bit and save at least one probe."""
+    result = run_bench(smoke=True)
+    assert result["identical"]
+    assert result["speedup"] > 0
+    # the toy grid is feasible everywhere, so probe savings come from the
+    # database-served subgrid; the ≥-half property is asserted on the
+    # paper grid by the full (non-smoke) run in BENCH_warm.json
+    assert result["probes_saved_total"] > 0
+    assert all(r["probes_saved"] > 0 for r in result["instances"] if r["served_from_db"])
+    print()
+    print(render(result))

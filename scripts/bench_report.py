@@ -18,6 +18,9 @@ change.
 * ``--suite certify`` → ``BENCH_certify.json`` via
   ``benchmarks/bench_certify.py`` (cost of the discrete-event
   certification gate and the seeded robustness stress test);
+* ``--suite warm`` → ``BENCH_warm.json`` via
+  ``benchmarks/bench_warm_sweep.py`` (cold vs warm full-grid sweep wall
+  time, probes saved by the warm-start database);
 * ``--suite all`` (default) → all of the above.
 
 Usage::
@@ -46,6 +49,7 @@ import bench_certify  # noqa: E402
 import bench_dp_hotpath  # noqa: E402
 import bench_obs_overhead  # noqa: E402
 import bench_phase2_hotpath  # noqa: E402
+import bench_warm_sweep  # noqa: E402
 
 
 def _payload(smoke: bool, runs) -> dict:
@@ -154,6 +158,14 @@ def run_certify(smoke: bool, out_dir: Path) -> None:
     print(f"wrote {out}\n")
 
 
+def run_warm(smoke: bool, out_dir: Path) -> None:
+    result = bench_warm_sweep.run_bench(smoke=smoke)
+    out = out_dir / "BENCH_warm.json"
+    out.write_text(json.dumps(_payload(smoke, result), indent=1) + "\n")
+    print(bench_warm_sweep.render(result))
+    print(f"wrote {out}\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -163,7 +175,7 @@ def main() -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("dp", "phase2", "obs", "certify", "all"),
+        choices=("dp", "phase2", "obs", "certify", "warm", "all"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -181,6 +193,8 @@ def main() -> int:
         run_obs(args.smoke, out_dir)
     if args.suite in ("certify", "all"):
         run_certify(args.smoke, out_dir)
+    if args.suite in ("warm", "all"):
+        run_warm(args.smoke, out_dir)
     return 0
 
 

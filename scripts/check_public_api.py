@@ -57,6 +57,17 @@ def main() -> int:
         assert getattr(api, name) is not None, f"repro.api.{name} is None"
     print(f"resolved {len(repro.__all__)} top-level + {len(api.__all__)} api names")
 
+    # the sweep warm-start knob is part of the stable surface: a
+    # keyword-only parameter defaulting to True (CLI: --no-warm-start)
+    import inspect
+
+    sig = inspect.signature(api.sweep)
+    ws = sig.parameters.get("warm_start")
+    assert ws is not None, "api.sweep() lost its warm_start parameter"
+    assert ws.default is True, f"api.sweep(warm_start=...) default changed: {ws.default!r}"
+    assert ws.kind is inspect.Parameter.KEYWORD_ONLY, "warm_start must be keyword-only"
+    print("api.sweep(warm_start=True) surface pinned")
+
     # 2. internal modules must not route through the deprecated shims
     chain = repro.uniform_chain(6)
     platform = repro.Platform.of(2, 8.0, 12.0)

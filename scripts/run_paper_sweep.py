@@ -69,6 +69,7 @@ def main() -> int:
         instance_timeout=args.instance_timeout,
         on_exhausted=args.on_error,
         trace_path=args.trace,
+        warm_start=not args.no_warm_start,
     )
 
     t0 = time.time()

@@ -68,6 +68,7 @@ from .. import obs
 from ..core.chain import Chain
 from ..core.partition import Allocation, Partitioning, Stage
 from ..core.platform import Platform
+from ..warmstart import active_warm, chain_fingerprint
 
 __all__ = [
     "Discretization",
@@ -82,6 +83,10 @@ _EPS = 1e-9
 
 _NO_CHILD = -1  # decision sentinel: stage closes the chain (p == 0 base)
 _NO_DEC = -2  # decision sentinel: state is infeasible
+
+#: Byte budget for carrying discovery-pass expansions into the value
+#: sweep (warm mode): levels past the budget are simply re-expanded.
+_FORWARD_BUDGET = 256 << 20
 
 
 @dataclass(frozen=True)
@@ -179,6 +184,8 @@ class _LevelDP:
         grid: Discretization,
         period_cap: float,
         allow_special: bool,
+        rows_cache: dict | None = None,
+        forward: bool = False,
     ):
         self.L, self.P, self.M = chain.L, platform.n_procs, platform.memory
         self.beta = platform.bandwidth
@@ -207,8 +214,16 @@ class _LevelDP:
         self.cumA = chain._cum_a_in
         self.act = chain._act
 
-        # per-level static candidate rows, index j = l - k (k descending)
-        self._rows: dict[int, tuple] = {}
+        # per-level static candidate rows, index j = l - k (k descending);
+        # pure functions of (chain, beta, strides), so a warm workspace may
+        # share one dict across probes, searches and instances
+        self._rows: dict[int, tuple] = {} if rows_cache is None else rows_cache
+        # warm mode: carry the discovery pass's expansions into reduce()
+        # (both passes expand identical key sets — see reduce()'s docstring)
+        self._forward = forward
+        self._fwd: dict[int, tuple] = {}
+        self._fwd_bytes = 0
+        self.forwarded = 0
 
         # per-level solved state: packed keys (sorted), values, decisions
         self.level_keys: list[np.ndarray | None] = [None] * (self.L + 1)
@@ -361,9 +376,15 @@ class _LevelDP:
             keys_b = keys[p >= 1]
             if not len(keys_b):
                 continue
-            valid_n, child_n, _, valid_s, child_s, _ = self._expand(
-                l, keys_b, count=True
-            )
+            exp = self._expand(l, keys_b, count=True)
+            valid_n, child_n, _, valid_s, child_s, _ = exp
+            if self._forward:
+                nbytes = sum(
+                    a.nbytes for a in exp if isinstance(a, np.ndarray)
+                )
+                if self._fwd_bytes + nbytes <= _FORWARD_BUDGET:
+                    self._fwd[l] = exp
+                    self._fwd_bytes += nbytes
             # level-0 children land in the bitmap too, but their segment
             # is never read back (T(0, ·) is closed-form in reduce())
             seen[child_n[valid_n]] = True
@@ -410,9 +431,12 @@ class _LevelDP:
             maskB = ~mask0
             if maskB.any():
                 keys_b = keys[maskB]
-                valid_n, child_n, local_n, valid_s, child_s, local_s = self._expand(
-                    l, keys_b
-                )
+                exp = self._fwd.pop(l, None)
+                if exp is None:
+                    exp = self._expand(l, keys_b)
+                else:
+                    self.forwarded += 1
+                valid_n, child_n, local_n, valid_s, child_s, local_s = exp
                 sub_n = dense[child_n]
                 sub_s = dense[child_s]
                 cand_n = np.where(valid_n, np.maximum(local_n[None, :], sub_n), INF)
@@ -483,6 +507,7 @@ def madpipe_dp(
     period_cap: float = INF,
     allow_special: bool = True,
     memory_headroom: float = 0.0,
+    workspace: dict | None = None,
 ) -> MadPipeDPResult:
     """Evaluate ``MadPipe-DP(T̂)`` (§4.2.2).
 
@@ -494,6 +519,12 @@ def madpipe_dp(
     :func:`repro.core.memory.effective_capacity`): the DP's memory masks
     and its memory grid both use the derated capacity, so phase 1 only
     proposes allocations that leave the requested margin.
+
+    ``workspace`` (warm starts) shares the per-level candidate-stage
+    constants across evaluations of the same (chain, P, β, grid) and
+    carries the discovery pass's expansions into the value sweep — the
+    result is bit-identical either way (both are exact reuse of
+    deterministic intermediates; golden tests enforce it).
     """
     if target <= 0:
         raise ValueError("target period must be positive")
@@ -502,6 +533,7 @@ def madpipe_dp(
     dp = _LevelDP(
         chain, platform.with_headroom(memory_headroom), target, grid,
         period_cap, allow_special,
+        rows_cache=workspace, forward=workspace is not None,
     )
     # P-1 normal processors plus the special one; without the special
     # processor all P processors are normal.
@@ -509,6 +541,8 @@ def madpipe_dp(
     root = chain.L * dp.S_l + p0 * dp.S_p
     period, stages, special = dp.solve(root)
     wall = time.perf_counter() - t0
+    if dp.forwarded:
+        obs.inc("warm.dp_reuse", dp.forwarded)
     if period == INF:
         return MadPipeDPResult(
             target,
@@ -569,9 +603,34 @@ def algorithm1(
     A nonzero ``memory_headroom`` is forwarded to the evaluator (the
     kwarg is omitted at zero so headroom-unaware evaluators keep
     working).
+
+    Under an active warm-start context (:mod:`repro.warmstart`) and the
+    default evaluator, the whole search is memoized by exact instance
+    key — MadPipe re-runs the identical contiguous search for its
+    fallback and certification paths, and sweeps repeat searches across
+    retries — and probes share the context's per-level DP workspace.
+    Both reuse paths return bit-identical results to a cold search.
     """
     dp = dp or madpipe_dp
     dp_opts = {"memory_headroom": memory_headroom} if memory_headroom else {}
+    warm = active_warm() if dp is madpipe_dp else None
+    memo_key = None
+    if warm is not None:
+        g = grid or Discretization.default()
+        fp = chain_fingerprint(chain)
+        memo_key = (
+            fp, platform.n_procs, platform.memory, platform.bandwidth,
+            iterations, (g.n_t, g.n_m, g.n_v), allow_special,
+            memory_headroom,
+        )
+        hit = warm.phase1.hit(memo_key)
+        if hit is not None:
+            obs.inc("warm.dp_reuse")
+            obs.inc("warm.probes_saved", len(hit.history))
+            return hit
+        dp_opts["workspace"] = warm.dp_workspace(
+            (fp, platform.n_procs, platform.bandwidth, g.n_t, g.n_m, g.n_v)
+        )
     t0 = time.perf_counter()
     lb = chain.total_compute() / platform.n_procs
     ub = chain.total_compute() + chain.total_comm(platform.bandwidth)
@@ -628,4 +687,6 @@ def algorithm1(
     obs.inc("dp.pruned_cap", best.pruned_cap)
     obs.inc("dp.pruned_mem", best.pruned_mem)
     obs.inc("dp.wall_s", best.wall_time_s)
+    if memo_key is not None:
+        warm.phase1.put(memo_key, best)
     return best

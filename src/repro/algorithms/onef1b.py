@@ -39,6 +39,7 @@ from ..obs.trace import active_trace
 from ..core.partition import Allocation, Partitioning
 from ..core.pattern import Op, PeriodicPattern, gpu, link
 from ..core.platform import Platform
+from ..warmstart import active_warm, chain_fingerprint
 
 __all__ = [
     "GROUP_FIT_RTOL",
@@ -264,12 +265,37 @@ def min_feasible_period(
     is the innermost loop of every contiguous planner, so the disabled
     path is guarded with a single context-variable read before any span
     machinery runs.
+
+    Under an active warm-start context the search is memoized by exact
+    instance key — the function is a pure deterministic map from
+    (chain, platform, partitioning, build, headroom) to its result, so
+    a hit is bit-identical to recomputing (MadPipe's fallback and
+    certification paths re-run the same search several times per
+    instance, and neighboring sweep instances repeat it across the
+    memory axis whenever the partitioning coincides).
     """
+    warm = active_warm()
+    memo_key = None
+    if warm is not None:
+        memo_key = (
+            chain_fingerprint(chain), platform.n_procs, platform.memory,
+            platform.bandwidth, memory_headroom,
+            tuple((s.start, s.end) for s in partitioning.stages), build,
+        )
+        hit = warm.onef1b.hit(memo_key)
+        if hit is not None:
+            obs_inc = active_metrics()
+            if obs_inc is not None:
+                obs_inc.inc("warm.onef1b_hits")
+            return hit[0]
     platform = platform.with_headroom(memory_headroom)
     tr = active_trace()
     reg = active_metrics()
     if tr is None and reg is None:
-        return _min_feasible_period(chain, platform, partitioning, build=build)
+        res = _min_feasible_period(chain, platform, partitioning, build=build)
+        if memo_key is not None:
+            warm.onef1b.put(memo_key, (res,))
+        return res
     if reg is not None:
         reg.inc("onef1b.searches")
     if tr is None:
@@ -285,6 +311,8 @@ def min_feasible_period(
             )
     if res is not None and reg is not None:
         reg.inc("onef1b.feasible")
+    if memo_key is not None:
+        warm.onef1b.put(memo_key, (res,))
     return res
 
 

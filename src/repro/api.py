@@ -331,6 +331,7 @@ def sweep(
     *,
     cache: "ResultCache | str | Path | None" = None,
     trace_path: "str | Path | None" = None,
+    warm_start: bool = True,
     **opts: Any,
 ) -> SweepResult:
     """Run one or more scenario grids through the resilient harness.
@@ -343,6 +344,13 @@ def sweep(
     ``retry_failed``, ``on_exhausted``, ``iterations``, ``grid``,
     ``ilp_time_limit``, ``verbose``); ``trace_path`` streams
     per-instance span trees to a JSONL file.
+
+    ``warm_start`` (default on) solves neighboring instances against the
+    per-process warm-start database (:mod:`repro.warmstart`): results
+    stay bit-identical to a cold sweep — only wall time and the
+    ``warm.*`` counters in ``metrics`` change.  Pass
+    ``warm_start=False`` (CLI: ``--no-warm-start``) for from-scratch
+    solves, e.g. when timing single instances.
     """
     if isinstance(specs, (SweepSpec, Mapping)) or (
         isinstance(specs, Sequence)
@@ -370,6 +378,7 @@ def sweep(
                     algorithms=spec.algorithms,
                     cache=cache,
                     trace_path=trace_path,
+                    warm_start=warm_start,
                     **opts,
                 )
             )

@@ -13,9 +13,9 @@ Usage::
 
 The sweep runtime flags (``--workers``, ``--resume``, ``--max-retries``,
 ``--instance-timeout``, ``--on-error``, ``--grid``, ``--iterations``,
-``--ilp-time-limit``, ``--flush-every``, ``--quiet``, ``--trace``) are
-defined once in :func:`sweep_options` and shared — with identical
-spelling and semantics — by ``repro sweep`` and
+``--ilp-time-limit``, ``--flush-every``, ``--quiet``, ``--trace``,
+``--no-warm-start``) are defined once in :func:`sweep_options` and
+shared — with identical spelling and semantics — by ``repro sweep`` and
 ``scripts/run_paper_sweep.py``.
 """
 
@@ -299,6 +299,12 @@ def sweep_options() -> argparse.ArgumentParser:
         help="append per-instance span trees to PATH (JSONL; inspect with "
         "'repro trace summary PATH')",
     )
+    p.add_argument(
+        "--no-warm-start", action="store_true",
+        help="solve every instance from scratch instead of reusing the "
+        "per-process warm-start database (results are bit-identical "
+        "either way; warm is faster on neighboring grids)",
+    )
     return p
 
 
@@ -332,6 +338,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 retry_failed=args.resume,
                 on_exhausted=args.on_error,
                 trace_path=args.trace,
+                warm_start=not args.no_warm_start,
             )
     except KeyboardInterrupt:
         print(f"\ninterrupted; {len(cache)} instance(s) cached in {args.out}")
@@ -341,8 +348,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"sweep done: {len(results)} instance(s), {n_bad} not ok, cache {args.out}")
     if not args.quiet and len(registry):
         counters = registry.counters()
-        keys = ("sweep.instances", "sweep.cache_hits", "sweep.retries",
-                "dp.searches", "ilp.milp_probes", "onef1b.searches")
+        keys = ("sweep.instances", "sweep.cache_hits", "sweep.dedup_hits",
+                "sweep.retries", "dp.searches", "ilp.milp_probes",
+                "onef1b.searches", "warm.dp_reuse", "warm.onef1b_hits",
+                "warm.skeleton_reuse", "warm.probes_saved",
+                "warm.bracket_hits")
         shown = {k: counters[k] for k in keys if k in counters}
         if shown:
             print("counters: " + " ".join(f"{k}={v}" for k, v in shown.items()))

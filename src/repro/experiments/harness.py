@@ -59,7 +59,7 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from .. import obs
+from .. import obs, warmstart
 from ..algorithms.madpipe import madpipe
 from ..algorithms.madpipe_dp import Discretization
 from ..algorithms.pipedream import pipedream
@@ -270,6 +270,7 @@ def _run_spec(
     ilp_time_limit: float,
     instance_timeout: float | None = None,
     observe: bool = False,
+    warm_start: bool = False,
 ):
     """Worker entry point: rebuild the (cached-per-process) chain from the
     network name and run one instance.  Must stay module-level picklable.
@@ -278,6 +279,12 @@ def _run_spec(
     registry and the return value is a ``(RunResult, counts, spans)``
     triple — plain dicts/lists so it pickles across the process pool and
     the parent can merge counters / append spans deterministically.
+
+    With ``warm_start=True`` the instance solves against the per-process
+    warm-start database (:mod:`repro.warmstart`) — shared across a serial
+    sweep's instances, and per worker process under the pool.  With
+    ``warm_start=False`` the database is explicitly masked, so cold
+    sweeps stay cold even after warm ones ran in the same process.
     """
     network, p, m, b, algo = spec
 
@@ -295,13 +302,14 @@ def _run_spec(
                 ilp_time_limit=ilp_time_limit,
             )
 
-    if not observe:
-        return _run()
-    trace = obs.Trace(_spec_key(spec))
-    registry = obs.MetricsRegistry()
-    with obs.use_trace(trace), obs.use_metrics(registry):
-        result = _run()
-    return result, registry.snapshot(), [s.to_dict() for s in trace.roots]
+    with warmstart.activate(warm_start):
+        if not observe:
+            return _run()
+        trace = obs.Trace(_spec_key(spec))
+        registry = obs.MetricsRegistry()
+        with obs.use_trace(trace), obs.use_metrics(registry):
+            result = _run()
+        return result, registry.snapshot(), [s.to_dict() for s in trace.roots]
 
 
 def _error_result(spec: tuple, exc: BaseException) -> RunResult:
@@ -343,6 +351,7 @@ def run_grid(
     retry_failed: bool = False,
     on_exhausted: str = "raise",
     trace_path: str | Path | None = None,
+    warm_start: bool = False,
 ) -> list[RunResult]:
     """Run a full scenario grid, replaying cached instances if available.
 
@@ -372,8 +381,24 @@ def run_grid(
     merged into the caller's registry as results return (deterministic:
     counter sums are order-independent), and each finished instance's
     spans are appended to ``trace_path`` as one JSON-Lines record
-    ``{"spec": […], "spans": […]}``.  Spans of attempts that failed and
-    were retried are dropped; a resumed sweep appends to the same file.
+    ``{"spec": […], "spans": […]}``.  The trace file is opened once for
+    the whole sweep (on the first record) and flushed per record, so a
+    killed sweep keeps every finished instance's spans.  Spans of
+    attempts that failed and were retried are dropped; a resumed sweep
+    appends to the same file.
+
+    ``warm_start=True`` solves instances against the per-process
+    warm-start database (:mod:`repro.warmstart`): uncached instances are
+    ordered so (network, P, β, algorithm) neighbors run consecutively at
+    *descending* memory — infeasibility certificates transfer downward —
+    and every solver layer reuses its neighbors' exact-key precomputation.
+    Results are bit-identical to a cold sweep; only ``runtime_s`` and the
+    ``warm.*`` counters differ.  The default stays cold for
+    backward-compatible determinism of per-call counters; the
+    :func:`repro.api.sweep` facade and the CLI default to warm.
+
+    Duplicate specs (e.g. a grid with repeated memory values) are solved
+    once and fanned out, counted as ``sweep.dedup_hits``.
 
     The cache is flushed on *every* exit path, including
     ``KeyboardInterrupt``, so completed instances are never lost.
@@ -393,20 +418,33 @@ def run_grid(
     observe = trace_path is not None or obs.active_metrics() is not None
     out: list[RunResult | None] = [None] * len(specs)
     remaining: set[int] = set()
+    primary: dict[tuple, int] = {}  # spec -> first index solving it
+    dup_map: dict[int, list[int]] = {}  # primary index -> duplicate indices
     for i, spec in enumerate(specs):
+        j = primary.setdefault(spec, i)
+        if j != i:
+            dup_map.setdefault(j, []).append(i)
+            obs.inc("sweep.dedup_hits")
+            continue
         hit = cache.get(spec) if cache is not None else None
         if hit is not None and not (retry_failed and hit.status in RETRY_STATUSES):
             out[i] = hit
             obs.inc("sweep.cache_hits")
         else:
             remaining.add(i)
+    for j, dups in dup_map.items():  # fan cached primaries out right away
+        if out[j] is not None:
+            for i in dups:
+                out[i] = out[j]
 
     attempts = dict.fromkeys(remaining, 0)
     n_recorded = 0
+    trace_fh = None  # one handle for the sweep, opened on first record
 
     def unwrap(payload) -> RunResult:
         """Fold an observed worker's (result, counts, spans) triple back
         into the parent: merge counters, append the instance's spans."""
+        nonlocal trace_fh
         if not observe or isinstance(payload, RunResult):
             return payload
         result, counts, spans = payload
@@ -415,8 +453,10 @@ def run_grid(
             registry.merge(counts)
         if trace_path is not None and spans:
             line = json.dumps({"spec": list(result.key), "spans": spans})
-            with open(trace_path, "a") as fh:
-                fh.write(line + "\n")
+            if trace_fh is None:
+                trace_fh = open(trace_path, "a")
+            trace_fh.write(line + "\n")
+            trace_fh.flush()
         return result
 
     def record(i: int, r: RunResult) -> None:
@@ -437,6 +477,8 @@ def run_grid(
     def finish(i: int, r: RunResult) -> None:
         record(i, r)
         remaining.discard(i)
+        for j in dup_map.get(i, ()):  # duplicates share the result (no re-put:
+            out[j] = r  # a second cache.put of the same key forces a rewrite)
 
     def fail(i: int, exc: BaseException) -> None:
         attempts[i] += 1
@@ -465,6 +507,16 @@ def run_grid(
                 time.sleep(delay * (1.0 + 0.25 * random.random()))
             round_no += 1
             batch = sorted(remaining)
+            if warm_start:
+                # neighbor order: (network, P, β, algorithm) runs stay
+                # consecutive with memory *descending*, so certified
+                # infeasibility flows from roomy instances to tight ones
+                batch.sort(
+                    key=lambda i: (
+                        specs[i][0], specs[i][1], specs[i][3], specs[i][4],
+                        -specs[i][2], i,
+                    )
+                )
             if pool_ok and len(batch) > 1:
                 try:
                     with ProcessPoolExecutor(max_workers=n_workers) as pool:
@@ -477,6 +529,7 @@ def run_grid(
                                 ilp_time_limit,
                                 instance_timeout,
                                 observe,
+                                warm_start,
                             ): i
                             for i in batch
                         }
@@ -516,6 +569,7 @@ def run_grid(
                                     ilp_time_limit,
                                     instance_timeout,
                                     observe,
+                                    warm_start,
                                 )
                             ),
                         )
@@ -526,8 +580,12 @@ def run_grid(
                     except Exception as exc:
                         fail(i, exc)
     finally:
-        if cache is not None:
-            cache.flush()
+        try:
+            if cache is not None:
+                cache.flush()
+        finally:
+            if trace_fh is not None:
+                trace_fh.close()
     return out
 
 

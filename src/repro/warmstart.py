@@ -1,0 +1,207 @@
+"""Cross-instance warm starts for the solver stack (ROADMAP item 4).
+
+A sweep solves thousands of *neighboring* instances: the same chain at
+many memory capacities, bandwidths and processor counts.  Each solver
+layer rederives work that a neighboring instance already paid for — the
+DP rebuilds its per-level candidate tensors on every binary-search
+probe, the MILP rebuilds its period-independent skeleton when only the
+memory capacity changed, and every period search re-probes targets a
+neighbor already *certified* infeasible.
+
+This module holds the shared state that lets solves reuse each other,
+under one hard rule: **warm starts never change results**.  Every
+mechanism is either an exact-key memo of a pure deterministic function,
+or a certificate transfer whose soundness is a theorem of the model:
+
+* ``dp_rows`` — per-level candidate-stage constants of the MadPipe DP
+  (:meth:`repro.algorithms.madpipe_dp._LevelDP._static_rows`): pure
+  functions of (chain, P, β, grid), independent of the probe target,
+  the period cap and the memory capacity — shared across probes,
+  searches and instances;
+* ``phase1`` — exact-key memo of whole :func:`algorithm1` searches
+  (same chain, platform, grid, iterations, restriction ⇒ same result;
+  MadPipe runs the identical contiguous search up to three times per
+  instance across its fallback and certification paths);
+* ``onef1b`` — exact-key memo of the pure 1F1B\\* minimal-period
+  search;
+* ``skeletons`` — MILP skeleton templates keyed *without* the memory
+  capacity: only the memory-row upper bounds ``M − const`` involve
+  ``M``, so :meth:`repro.ilp.formulation.MilpSkeleton.retarget`
+  rebuilds a neighbor's skeleton for a new capacity in O(rows) with
+  float-identical bounds;
+* ``frontier`` — certified-infeasible MILP probes ``(T, M)``.
+  Feasibility of the fixed-period MILP is monotone in ``T`` (shift
+  inequalities only relax) *and* in ``M`` (memory rows only relax), so
+  a probe certified infeasible at ``(T′, M′)`` proves every probe with
+  ``T ≤ T′`` and ``M ≤ M′`` infeasible — those probes are answered
+  from the frontier without invoking HiGHS.  Only HiGHS's *proven*
+  ``infeasible`` status enters the frontier; budget ``timeout``\\ s
+  never do.
+
+Activation is explicit and context-local: the sweep harness wraps each
+instance in :func:`activate` when ``run_grid(..., warm_start=True)``;
+everything else (direct :func:`repro.algorithms.madpipe.madpipe` calls,
+``warm_start=False`` sweeps) runs cold and byte-identical to previous
+releases.  The context is a per-process singleton, so serial sweeps
+share one database across instances and pooled sweeps share one per
+worker process.
+
+Reuse is reported through the ``warm.*`` counters on the obs registry:
+``warm.dp_reuse`` (DP level-tensor and whole-search reuse),
+``warm.onef1b_hits``, ``warm.skeleton_reuse``, ``warm.probes_saved``
+(DP + MILP probes answered without solving) and ``warm.bracket_hits``
+(period searches whose opening bracket was seeded by a neighbor's
+certificate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "WarmContext",
+    "activate",
+    "active_warm",
+    "chain_fingerprint",
+    "process_context",
+    "reset_process_context",
+]
+
+#: Whole-search memo bound (phase-1 and 1F1B* searches are small; the
+#: bound only guards unbounded growth on very long-lived processes).
+_MEMO_CAP = 256
+#: Skeleton templates are the largest cached objects (dense constraint
+#: matrices); keep only the most recent allocations.
+_SKELETON_CAP = 32
+
+
+def chain_fingerprint(chain) -> tuple:
+    """A value-based identity for a chain, stable across processes.
+
+    Sweep workers rebuild chains from network names, so object identity
+    cannot key a cross-instance cache; the fingerprint hashes the cached
+    prefix arrays every solver layer actually reads.
+    """
+    fp = getattr(chain, "_warm_fingerprint", None)
+    if fp is not None:
+        return fp
+    h = hashlib.sha1()
+    for arr in (chain._cum_u, chain._cum_w, chain._cum_a_in, chain._act):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    fp = (chain.name, chain.L, h.hexdigest())
+    try:
+        object.__setattr__(chain, "_warm_fingerprint", fp)
+    except (AttributeError, TypeError):
+        pass  # frozen/slotted chains: recompute per call
+    return fp
+
+
+class _LRU(OrderedDict):
+    """Tiny move-to-front dict with a capacity bound."""
+
+    def __init__(self, cap: int):
+        super().__init__()
+        self.cap = cap
+
+    def hit(self, key):
+        if key not in self:
+            return None
+        self.move_to_end(key)
+        return self[key]
+
+    def put(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.cap:
+            self.popitem(last=False)
+
+
+class WarmContext:
+    """The per-process warm-start database.
+
+    All lookups are exact-key; see the module docstring for why each
+    table is result-preserving.  The context is only ever touched from
+    code running under :func:`activate`, one instance at a time per
+    process, so no locking is needed.
+    """
+
+    def __init__(self) -> None:
+        self.dp_rows: dict[tuple, dict] = {}
+        self.phase1 = _LRU(_MEMO_CAP)
+        self.onef1b = _LRU(_MEMO_CAP)
+        self.skeletons = _LRU(_SKELETON_CAP)
+        # frontier: key -> list of certified-infeasible (T, capacity) points
+        self.frontier: dict[tuple, list[tuple[float, float]]] = {}
+
+    # -- DP level-tensor workspace -----------------------------------------
+
+    def dp_workspace(self, key: tuple) -> dict:
+        """The shared ``_static_rows`` cache for one (chain, P, β, grid)."""
+        ws = self.dp_rows.get(key)
+        if ws is None:
+            ws = self.dp_rows[key] = {}
+        return ws
+
+    # -- certified-infeasible probe frontier -------------------------------
+
+    def frontier_dominated(self, key: tuple, T: float, capacity: float) -> bool:
+        """Is a probe at ``(T, capacity)`` dominated by a recorded
+        certificate?  Infeasible at ``(T′, M′)`` proves infeasible at
+        every ``T ≤ T′, M ≤ M′`` (feasibility is monotone in both)."""
+        pts = self.frontier.get(key)
+        if not pts:
+            return False
+        return any(T <= Tr and capacity <= Mr for Tr, Mr in pts)
+
+    def frontier_add(self, key: tuple, T: float, capacity: float) -> None:
+        """Record a *certified* infeasible probe, pruning dominated points."""
+        pts = self.frontier.setdefault(key, [])
+        if any(T <= Tr and capacity <= Mr for Tr, Mr in pts):
+            return  # already implied
+        pts[:] = [(Tr, Mr) for Tr, Mr in pts if not (Tr <= T and Mr <= capacity)]
+        pts.append((T, capacity))
+
+
+_active: ContextVar[WarmContext | None] = ContextVar(
+    "repro_warm_context", default=None
+)
+_process_ctx: WarmContext | None = None
+
+
+def active_warm() -> WarmContext | None:
+    """The context-local warm-start database, or ``None`` (cold)."""
+    return _active.get()
+
+
+def process_context() -> WarmContext:
+    """The lazily-created per-process singleton database."""
+    global _process_ctx
+    if _process_ctx is None:
+        _process_ctx = WarmContext()
+    return _process_ctx
+
+
+def reset_process_context() -> None:
+    """Drop the process singleton (tests and benchmarks)."""
+    global _process_ctx
+    _process_ctx = None
+
+
+@contextmanager
+def activate(enabled: bool = True) -> Iterator[WarmContext | None]:
+    """Install the process database for the block (``enabled=True``) or
+    force the block cold (``enabled=False`` masks any outer context, so
+    a ``warm_start=False`` sweep stays cold even after warm ones ran in
+    the same process)."""
+    ctx = process_context() if enabled else None
+    token = _active.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _active.reset(token)
