@@ -1,0 +1,259 @@
+"""QPS traffic replay: the plan service vs naive serial ``api.plan``.
+
+The planner-as-a-service claim is about *traffic*, not single solves:
+real planning workloads repeat themselves (the same (chain, platform,
+knobs) arrives again and again as users iterate and autoscalers probe),
+so a fingerprinted cache plus single-flight coalescing should multiply
+throughput without changing a single answer.  This benchmark measures
+exactly that:
+
+* **workload** — ``n_requests`` requests drawn Zipf-style (seeded, rank
+  exponent ``zipf_s``) from a pool of unique (network, P, M, algorithm)
+  specs, shuffled into one replay sequence: a few hot specs dominate,
+  the tail stays cold — the canonical cache-friendly traffic shape;
+* **naive pass** — the replay answered the pre-service way: one blocking
+  :func:`repro.api.plan` call per request, in order, no reuse anywhere
+  (warm starts disabled; every request pays the full solve);
+* **service pass** — the same replay fired concurrently at one
+  :class:`repro.serve.PlanService` (bounded worker pool + two-tier plan
+  cache + coalescing), wall-clocked end to end including pool startup.
+
+Before any number is reported, every reply of the service pass is
+asserted bit-identical (``PlanResult.to_json()``) to a dedicated cold
+reference solve of its spec — the service may only ever be *faster*,
+never *different*.  The emitted record has both QPS figures, the
+speedup, and the cache-hit / coalesce rates that explain it.
+
+The measurement core is importable — ``scripts/bench_report.py`` uses it
+to emit ``BENCH_serve.json``.  Run under pytest for the smoke mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro import api, warmstart
+from repro.algorithms import Discretization
+from repro.core.platform import Platform
+from repro.experiments.scenarios import paper_chain
+
+# the full workload: ResNet-50 over a platform spread, madpipe + pipedream
+NETWORKS = ("resnet50",)
+PLATFORMS = ((4, 8.0), (4, 16.0), (8, 8.0), (8, 16.0))
+ALGORITHMS = ("madpipe", "pipedream")
+BANDWIDTH_GBPS = 12.0
+N_REQUESTS = 64
+WORKERS = 2
+CONCURRENCY = 16
+ITERATIONS = 8
+ILP_TIME_LIMIT = 30.0
+SEED = 0
+ZIPF_S = 1.1
+
+SMOKE = dict(
+    networks=("toy4", "toy6"),
+    platforms=((2, 8.0), (2, 16.0)),
+    algorithms=("madpipe",),
+    n_requests=12,
+    workers=0,  # inline thread mode: no pool startup in CI smoke
+    iterations=4,
+    ilp_time_limit=10.0,
+)
+
+
+def _specs(cfg) -> list[tuple[str, int, float, str]]:
+    return [
+        (network, p, m, algorithm)
+        for network in cfg["networks"]
+        for (p, m) in cfg["platforms"]
+        for algorithm in cfg["algorithms"]
+    ]
+
+
+def _replay(n_unique: int, n_requests: int, seed: int, s: float) -> list[int]:
+    """Seeded Zipf draw of spec indices: rank r gets weight 1/r^s."""
+    rng = random.Random(seed)
+    ranks = list(range(n_unique))
+    rng.shuffle(ranks)  # which spec is "hot" is itself randomized
+    weights = [1.0 / (ranks[i] + 1) ** s for i in range(n_unique)]
+    return rng.choices(range(n_unique), weights=weights, k=n_requests)
+
+
+def _opts(cfg, algorithm: str) -> dict:
+    if algorithm != "madpipe":
+        return {}
+    return dict(
+        grid=Discretization.coarse(),
+        iterations=cfg["iterations"],
+        ilp_time_limit=cfg["ilp_time_limit"],
+    )
+
+
+def _cold_plan(cfg, spec) -> "api.PlanResult":
+    network, p, m, algorithm = spec
+    chain = paper_chain(network)
+    platform = Platform.of(p, m, BANDWIDTH_GBPS)
+    with warmstart.activate(False):
+        return api.plan(chain, platform, algorithm=algorithm, **_opts(cfg, algorithm))
+
+
+async def _service_pass(cfg, specs, replay, store: Path) -> tuple[list, float, dict]:
+    service = api.serve(
+        store=store,
+        max_workers=cfg["workers"],
+        max_retries=cfg["max_retries"],
+    )
+    requests = [
+        service.request(
+            paper_chain(network),
+            Platform.of(p, m, BANDWIDTH_GBPS),
+            algorithm=algorithm,
+            **_opts(cfg, algorithm),
+        )
+        for (network, p, m, algorithm) in specs
+    ]
+    gate = asyncio.Semaphore(cfg["concurrency"])
+
+    async def one(i: int):
+        async with gate:
+            return await service.handle(requests[i])
+
+    async with service:
+        t0 = time.perf_counter()
+        replies = await asyncio.gather(*(one(i) for i in replay))
+        wall = time.perf_counter() - t0
+        stats = service.stats()
+    return replies, wall, stats
+
+
+def run_bench(
+    *,
+    smoke: bool = False,
+    networks: tuple[str, ...] | None = None,
+    platforms: "tuple[tuple[int, float], ...] | None" = None,
+    algorithms: tuple[str, ...] | None = None,
+    n_requests: int | None = None,
+    workers: int | None = None,
+    concurrency: int | None = None,
+    iterations: int | None = None,
+    ilp_time_limit: float | None = None,
+    max_retries: int = 2,
+    seed: int | None = None,
+    zipf_s: float | None = None,
+) -> dict:
+    """The replay measurement; returns a JSON-ready result dict."""
+    cfg = dict(
+        networks=NETWORKS,
+        platforms=PLATFORMS,
+        algorithms=ALGORITHMS,
+        n_requests=N_REQUESTS,
+        workers=WORKERS,
+        concurrency=CONCURRENCY,
+        iterations=ITERATIONS,
+        ilp_time_limit=ILP_TIME_LIMIT,
+        max_retries=max_retries,
+        seed=SEED,
+        zipf_s=ZIPF_S,
+    )
+    if smoke:
+        cfg.update(SMOKE)
+    for key, override in (
+        ("networks", networks),
+        ("platforms", platforms),
+        ("algorithms", algorithms),
+        ("n_requests", n_requests),
+        ("workers", workers),
+        ("concurrency", concurrency),
+        ("iterations", iterations),
+        ("ilp_time_limit", ilp_time_limit),
+        ("seed", seed),
+        ("zipf_s", zipf_s),
+    ):
+        if override is not None:
+            cfg[key] = override
+    specs = _specs(cfg)
+    replay = _replay(len(specs), cfg["n_requests"], cfg["seed"], cfg["zipf_s"])
+
+    # cold references: one from-scratch solve per unique spec — the
+    # ground truth every served plan must match bit for bit
+    warmstart.reset_process_context()
+    references = [_cold_plan(cfg, spec).to_json() for spec in specs]
+
+    # naive pass: serial blocking api.plan per request, no reuse
+    warmstart.reset_process_context()
+    t0 = time.perf_counter()
+    for i in replay:
+        naive = _cold_plan(cfg, specs[i])
+        if naive.to_json() != references[i]:
+            raise AssertionError("naive replay diverged from the cold reference")
+    naive_s = time.perf_counter() - t0
+
+    # service pass: the same replay, concurrent, cached, coalesced
+    with tempfile.TemporaryDirectory() as tmp:
+        replies, serve_s, stats = asyncio.run(
+            _service_pass(cfg, specs, replay, Path(tmp) / "plans.jsonl")
+        )
+
+    identical = all(
+        reply.result.to_json() == references[i]
+        for reply, i in zip(replies, replay)
+    )
+    if not identical:
+        raise AssertionError("service replies diverged from cold api.plan")
+
+    n = cfg["n_requests"]
+    n_distinct = len(set(replay))
+    counters = stats["counters"]
+    served_from = {}
+    for reply in replies:
+        served_from[reply.served_from] = served_from.get(reply.served_from, 0) + 1
+    return {
+        "config": {
+            k: list(v) if isinstance(v, tuple) else v for k, v in cfg.items()
+        },
+        "n_requests": n,
+        "n_unique": len(specs),
+        "n_distinct": n_distinct,
+        "naive_s": naive_s,
+        "serve_s": serve_s,
+        "naive_qps": n / naive_s if naive_s > 0 else float("inf"),
+        "serve_qps": n / serve_s if serve_s > 0 else float("inf"),
+        "speedup": naive_s / serve_s if serve_s > 0 else float("inf"),
+        "solves": int(counters.get("serve.solves", 0)),
+        "hit_rate": counters.get("serve.hits", 0) / n,
+        "coalesce_rate": counters.get("serve.coalesced", 0) / n,
+        "served_from": served_from,
+        "latency_ms": stats["latency_ms"],
+        "identical": identical,
+    }
+
+
+def render(result: dict) -> str:
+    src = " ".join(f"{k}={v}" for k, v in sorted(result["served_from"].items()))
+    lat = result["latency_ms"]
+    return (
+        f"{result['n_requests']} requests over {result['n_distinct']} distinct "
+        f"specs (pool of {result['n_unique']}) [{src}]\n"
+        f"naive serial: {result['naive_s']:.2f}s ({result['naive_qps']:.2f} qps) | "
+        f"service: {result['serve_s']:.2f}s ({result['serve_qps']:.2f} qps) | "
+        f"speedup {result['speedup']:.2f}x\n"
+        f"solves {result['solves']} | hit rate {result['hit_rate']:.0%} | "
+        f"coalesce rate {result['coalesce_rate']:.0%} | "
+        f"latency p50 {lat['p50']:.1f}ms p95 {lat['p95']:.1f}ms"
+    )
+
+
+def test_serve_bench_smoke():
+    """Smoke run on toy chains so the benchmark harness cannot rot: the
+    service must answer bit-identically and actually reuse solves."""
+    result = run_bench(smoke=True)
+    assert result["identical"]
+    # no duplicate solves: each distinct spec in the replay solved exactly once
+    assert result["solves"] == result["n_distinct"]
+    assert result["hit_rate"] + result["coalesce_rate"] > 0
+    print()
+    print(render(result))

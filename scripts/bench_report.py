@@ -21,6 +21,9 @@ change.
 * ``--suite warm`` → ``BENCH_warm.json`` via
   ``benchmarks/bench_warm_sweep.py`` (cold vs warm full-grid sweep wall
   time, probes saved by the warm-start database);
+* ``--suite serve`` → ``BENCH_serve.json`` via
+  ``benchmarks/bench_serve.py`` (plan-service QPS under a Zipf traffic
+  replay vs naive serial ``api.plan``, hit/coalesce rates);
 * ``--suite all`` (default) → all of the above.
 
 Usage::
@@ -49,6 +52,7 @@ import bench_certify  # noqa: E402
 import bench_dp_hotpath  # noqa: E402
 import bench_obs_overhead  # noqa: E402
 import bench_phase2_hotpath  # noqa: E402
+import bench_serve  # noqa: E402
 import bench_warm_sweep  # noqa: E402
 
 
@@ -166,6 +170,14 @@ def run_warm(smoke: bool, out_dir: Path) -> None:
     print(f"wrote {out}\n")
 
 
+def run_serve(smoke: bool, out_dir: Path) -> None:
+    result = bench_serve.run_bench(smoke=smoke)
+    out = out_dir / "BENCH_serve.json"
+    out.write_text(json.dumps(_payload(smoke, result), indent=1) + "\n")
+    print(bench_serve.render(result))
+    print(f"wrote {out}\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -175,7 +187,7 @@ def main() -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("dp", "phase2", "obs", "certify", "warm", "all"),
+        choices=("dp", "phase2", "obs", "certify", "warm", "serve", "all"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -195,6 +207,8 @@ def main() -> int:
         run_certify(args.smoke, out_dir)
     if args.suite in ("warm", "all"):
         run_warm(args.smoke, out_dir)
+    if args.suite in ("serve", "all"):
+        run_serve(args.smoke, out_dir)
     return 0
 
 

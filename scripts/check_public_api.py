@@ -15,7 +15,11 @@ Checks, in order:
 4. the facade works end to end on a toy instance;
 5. the certification surface is pinned: ``repro.api.certify`` is
    callable, every ``plan()`` result carries an ``ok`` certificate,
-   and two same-seed robustness reports are identical.
+   and two same-seed robustness reports are identical;
+6. the serving surface is pinned: ``repro.api.serve`` constructs a
+   ``PlanService``, a served plan round-trips through
+   ``PlanResult.to_json()``/``from_json()`` and matches a direct
+   ``api.plan`` call bit for bit.
 
 Exit code 0 on success; any failure raises and exits non-zero.
 
@@ -79,6 +83,8 @@ def main() -> int:
     assert result.trace is not None and len(result.trace) > 0
     assert result.metrics.get("madpipe.runs") == 1
     print(f"plan ok: period={result.period:.4f}, {len(result.trace)} spans")
+    # snapshot before certify() below refreshes the certificate in place
+    plan_json = result.to_json()
 
     # 5. the certification surface: api.certify is callable, plan results
     # carry an ok certificate, same-seed robustness reports are identical
@@ -97,6 +103,28 @@ def main() -> int:
         f"certify ok: worst period inflation "
         f"{c1.robustness.worst_period_inflation:.4f}, deterministic"
     )
+
+    # 6. the serving surface: api.serve() builds a PlanService whose
+    # replies are bit-identical to direct api.plan, and the PlanResult
+    # JSON wire format round-trips
+    import asyncio
+
+    assert callable(api.serve), "repro.api.serve is not callable"
+    assert api.PlanService is not None, "repro.api.PlanService missing"
+    reloaded = api.PlanResult.from_json(plan_json)
+    assert reloaded.to_json() == plan_json, "PlanResult JSON round-trip"
+
+    async def _served():
+        async with api.serve(max_workers=0) as service:
+            return await service.submit(
+                chain, platform, iterations=2, grid=repro.Discretization.coarse()
+            )
+
+    served = asyncio.run(_served())
+    assert served.to_json() == plan_json, (
+        "served plan differs from direct api.plan"
+    )
+    print("serve ok: served plan bit-identical to api.plan, JSON round-trips")
 
     # 3. deprecated names warn exactly once, then resolve silently
     for name in sorted(deprecated):

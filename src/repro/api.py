@@ -46,6 +46,7 @@ from .algorithms.pipedream import pipedream
 from .core.chain import Chain
 from .core.pattern import PeriodicPattern
 from .core.platform import Platform
+from .core.serialize import pattern_from_dict, pattern_to_dict
 from .experiments.harness import ResultCache, RunResult, run_grid
 from .profiling import NoiseModel, load_chain
 from .robust import Certificate, RobustnessReport, certify_pattern, robustness_report
@@ -56,12 +57,14 @@ __all__ = [
     "Certificate",
     "NoiseModel",
     "PlanResult",
+    "PlanService",
     "RobustnessReport",
     "SweepResult",
     "SweepSpec",
     "certify",
     "load_chain",
     "plan",
+    "serve",
     "sweep",
 ]
 
@@ -102,6 +105,65 @@ class PlanResult:
     @property
     def feasible(self) -> bool:
         return self.period != INF
+
+    def to_json(self) -> dict:
+        """The *plan* as a JSON-ready dict — deterministic and
+        round-trippable through :meth:`from_json`.
+
+        Serializes what the planner decided (algorithm, periods, status,
+        pattern, certificate), not how the call went: ``metrics``,
+        ``trace`` and the algorithm-native ``raw`` object are per-call
+        observations and are deliberately excluded, so two solves of the
+        same request (cold, warm or cached) serialize byte-identically.
+        Infinite periods encode as ``null`` (the :class:`ResultCache`
+        convention), keeping the payload strict JSON.  This is the wire
+        format of the plan server's cache and protocol
+        (:mod:`repro.serve`).
+        """
+        return {
+            "version": 1,
+            "algorithm": self.algorithm,
+            "period": None if self.period == INF else self.period,
+            "dp_period": None if self.dp_period == INF else self.dp_period,
+            "status": self.status,
+            "pattern": None if self.pattern is None else pattern_to_dict(self.pattern),
+            "certificate": (
+                None if self.certificate is None else self.certificate.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlanResult":
+        """Inverse of :meth:`to_json`.
+
+        The reloaded result carries the full plan (pattern, certificate,
+        periods, status); ``raw``/``trace`` are ``None`` and ``metrics``
+        empty — they do not survive serialization.  Raises ``ValueError``
+        on malformed input (the plan store quarantines such records).
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"plan payload must be a JSON object, got {type(data).__name__}"
+            )
+        missing = [k for k in ("algorithm", "status") if k not in data]
+        if missing:
+            raise ValueError(f"plan payload missing fields {missing}")
+        try:
+            period = data.get("period")
+            dp_period = data.get("dp_period")
+            pattern = data.get("pattern")
+            cert = data.get("certificate")
+            return cls(
+                algorithm=str(data["algorithm"]),
+                period=INF if period is None else float(period),
+                dp_period=INF if dp_period is None else float(dp_period),
+                pattern=None if pattern is None else pattern_from_dict(pattern),
+                status=str(data["status"]),
+                raw=None,
+                certificate=None if cert is None else Certificate.from_dict(cert),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"malformed plan payload: {exc!r}") from exc
 
 
 def plan(
@@ -322,6 +384,48 @@ class SweepResult:
             out[r.status] = out.get(r.status, 0) + 1
         return out
 
+    def summary(self) -> dict:
+        """Digest of the sweep: statuses plus the reuse counters.
+
+        Surfaces what the raw ``metrics`` dict buries — how much work
+        the harness *avoided*: ``cache_hits`` (served from the JSONL
+        result cache), ``dedup_hits`` (duplicate specs solved once and
+        fanned out), ``retries``, and the per-mechanism ``warm`` reuse
+        counters of :mod:`repro.warmstart` (``dp_reuse``,
+        ``onef1b_hits``, ``skeleton_reuse``, ``probes_saved``,
+        ``bracket_hits`` — absent keys mean the mechanism never fired).
+        """
+        m = self.metrics
+        return {
+            "instances": len(self.results),
+            "statuses": self.statuses,
+            "cache_hits": int(m.get("sweep.cache_hits", 0)),
+            "dedup_hits": int(m.get("sweep.dedup_hits", 0)),
+            "retries": int(m.get("sweep.retries", 0)),
+            "warm": {
+                k.split(".", 1)[1]: int(v)
+                for k, v in sorted(m.items())
+                if k.startswith("warm.")
+            },
+        }
+
+    def render_summary(self) -> str:
+        """One-line human rendering of :meth:`summary` (the ``repro
+        sweep`` footer)."""
+        s = self.summary()
+        statuses = " ".join(f"{k}={v}" for k, v in sorted(s["statuses"].items()))
+        line = (
+            f"{s['instances']} instance(s) [{statuses or 'none'}] | "
+            f"reuse: {s['cache_hits']} cached, {s['dedup_hits']} deduplicated"
+        )
+        if s["retries"]:
+            line += f", {s['retries']} retried"
+        if s["warm"]:
+            line += " | warm: " + " ".join(
+                f"{k}={v}" for k, v in s["warm"].items()
+            )
+        return line
+
     def __len__(self) -> int:
         return len(self.results)
 
@@ -385,3 +489,53 @@ def sweep(
     if outer is not None:
         outer.merge(registry.snapshot())
     return SweepResult(results=results, specs=spec_list, metrics=registry.snapshot())
+
+
+# ------------------------------------------------------------------ serving
+
+
+def serve(
+    *,
+    store: "str | Path | None" = None,
+    memory_entries: int = 1024,
+    max_workers: int = 1,
+    instance_timeout: float | None = None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.5,
+    warm_start: bool = True,
+) -> "PlanService":
+    """Build a long-lived planning service (see :mod:`repro.serve`).
+
+    The service answers :func:`plan` requests through a fingerprinted
+    two-tier cache (in-process LRU over a persistent JSONL store at
+    ``store``), coalesces identical concurrent requests into one solve,
+    and runs cache misses on a bounded worker pool (``max_workers``
+    processes; ``0`` solves inline on the event loop's thread pool) with
+    the sweep harness's per-request deadline/retry/backoff machinery and
+    the warm-start context active inside workers.  Served plans are
+    bit-identical — in the :meth:`PlanResult.to_json` sense — to direct
+    cold :func:`plan` calls.
+
+    Usage::
+
+        service = api.serve(store="plans.jsonl")
+        result = await service.submit(chain, platform, algorithm="madpipe")
+        print(service.stats()["counters"]["serve.hits"])
+        await service.close()
+
+    CLI equivalent: ``repro serve`` (JSONL request loop over stdin).
+    """
+    return PlanService(
+        store=store,
+        memory_entries=memory_entries,
+        max_workers=max_workers,
+        instance_timeout=instance_timeout,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        warm_start=warm_start,
+    )
+
+
+# placed last: repro.serve pulls the harness/obs layers in but never this
+# module at import time, so the facade can re-export its service class
+from .serve import PlanService  # noqa: E402  (import cycle guard)

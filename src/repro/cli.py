@@ -344,21 +344,147 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\ninterrupted; {len(cache)} instance(s) cached in {args.out}")
         print("re-run with --resume to continue")
         return 130
+    from .api import SweepResult
+
     n_bad = sum(1 for r in results if r is not None and r.status != "ok")
     print(f"sweep done: {len(results)} instance(s), {n_bad} not ok, cache {args.out}")
-    if not args.quiet and len(registry):
-        counters = registry.counters()
-        keys = ("sweep.instances", "sweep.cache_hits", "sweep.dedup_hits",
-                "sweep.retries", "dp.searches", "ilp.milp_probes",
-                "onef1b.searches", "warm.dp_reuse", "warm.onef1b_hits",
-                "warm.skeleton_reuse", "warm.probes_saved",
-                "warm.bracket_hits")
-        shown = {k: counters[k] for k in keys if k in counters}
-        if shown:
-            print("counters: " + " ".join(f"{k}={v}" for k, v in shown.items()))
+    summary = SweepResult(
+        results=[r for r in results if r is not None],
+        specs=[],
+        metrics=registry.snapshot(),
+    )
+    if not args.quiet:
+        print(summary.render_summary())
     if args.trace:
         print(f"trace: {args.trace} (see 'repro trace summary {args.trace}')")
     return 0
+
+
+def _parse_serve_request(line: str, lineno: int) -> "tuple[dict, object, Platform]":
+    """Decode one JSONL serve request into (raw, chain, platform).
+
+    A request names its chain either by scenario (``"network": "toy8"``,
+    any paper network or ``toy<L>``) or by profile file
+    (``"profile": "rn50.json"``), plus the platform and optional
+    ``"algorithm"`` / ``"opts"``.  Raises ``ValueError`` with a
+    line-anchored message on anything malformed.
+    """
+    from .experiments.scenarios import paper_chain
+
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"line {lineno}: not valid JSON ({exc})") from None
+    if not isinstance(obj, dict):
+        raise ValueError(f"line {lineno}: request must be a JSON object")
+    network = obj.get("network")
+    profile = obj.get("profile")
+    if (network is None) == (profile is None):
+        raise ValueError(
+            f"line {lineno}: exactly one of 'network' or 'profile' is required"
+        )
+    try:
+        chain = paper_chain(network) if network else load_chain(profile)
+    except (OSError, ValueError, KeyError) as exc:
+        raise ValueError(f"line {lineno}: cannot load chain: {exc}") from None
+    try:
+        platform = Platform.of(
+            int(obj["procs"]),
+            float(obj.get("memory_gb", 8.0)),
+            float(obj.get("bandwidth_gbps", 12.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"line {lineno}: bad platform: {exc}") from None
+    opts = obj.get("opts", {})
+    if not isinstance(opts, dict):
+        raise ValueError(f"line {lineno}: 'opts' must be an object")
+    return obj, chain, platform
+
+
+async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
+    """Drive the JSONL request replay against one :class:`PlanService`."""
+    import asyncio
+
+    from .api import serve as make_service
+
+    service = make_service(
+        store=args.store,
+        max_workers=args.workers,
+        instance_timeout=args.instance_timeout,
+        max_retries=args.max_retries,
+        warm_start=not args.no_warm_start,
+    )
+    gate = asyncio.Semaphore(max(1, args.concurrency))
+    failures = 0
+
+    def emit(payload: dict) -> None:
+        print(json.dumps(payload, sort_keys=True), flush=True)
+
+    async def one(lineno: int, line: str) -> None:
+        nonlocal failures
+        rid = None
+        try:
+            obj, chain, platform = _parse_serve_request(line, lineno)
+            rid = obj.get("id", lineno)
+            request = service.request(
+                chain,
+                platform,
+                algorithm=obj.get("algorithm", "madpipe"),
+                **obj.get("opts", {}),
+            )
+            async with gate:
+                reply = await service.handle(request)
+        except Exception as exc:  # one bad request must not kill the loop
+            failures += 1
+            emit({"id": rid, "ok": False, "error": str(exc)})
+            return
+        response = {
+            "id": rid,
+            "ok": True,
+            "fingerprint": reply.fingerprint,
+            "served_from": reply.served_from,
+            "latency_ms": round(reply.latency_s * 1e3, 3),
+            "status": reply.result.status,
+            "period": reply.result.period if reply.result.feasible else None,
+        }
+        if args.emit_plans:
+            response["plan"] = reply.result.to_json()
+        emit(response)
+
+    async with service:
+        await asyncio.gather(
+            *(one(i, line) for i, line in enumerate(lines, 1))
+        )
+        stats = service.stats()
+    emit({"stats": stats})
+    if not args.quiet:
+        c = stats["counters"]
+        print(
+            f"served {int(c.get('serve.requests', 0))} request(s): "
+            f"{int(c.get('serve.solves', 0))} solved, "
+            f"{int(c.get('serve.hits', 0))} cache hit(s), "
+            f"{int(c.get('serve.coalesced', 0))} coalesced, "
+            f"{failures} failed",
+            file=sys.stderr,
+        )
+    return 0 if failures == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.requests == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(args.requests).read_text()
+        except OSError as exc:
+            print(f"cannot read {args.requests}: {exc}", file=sys.stderr)
+            return 2
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if args.store:
+        Path(args.store).parent.mkdir(parents=True, exist_ok=True)
+    return asyncio.run(_serve_loop(args, lines))
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
@@ -518,6 +644,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default="results/sweep.jsonl", help="cache file (JSONL)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer a JSONL stream of plan requests through the caching, "
+        "coalescing plan service (one JSON response per line, stats at end)",
+    )
+    p.add_argument(
+        "requests",
+        nargs="?",
+        default="-",
+        help="JSONL request file, or '-' (default) to read stdin; each line "
+        'is e.g. {"id": 1, "network": "toy8", "procs": 4, "memory_gb": 8}',
+    )
+    p.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persistent plan cache (JSONL); restarting with the same store "
+        "serves previously solved plans without re-solving",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="solver worker processes (0 = solve inline on a thread)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=8,
+        help="max requests admitted to the service at once",
+    )
+    p.add_argument(
+        "--instance-timeout", type=float, default=None, metavar="S",
+        help="per-request wall-clock deadline, enforced in the worker",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per crashed/timed-out solve before reporting an error",
+    )
+    p.add_argument(
+        "--no-warm-start", action="store_true",
+        help="solve every request cold (responses are bit-identical either way)",
+    )
+    p.add_argument(
+        "--emit-plans", action="store_true",
+        help="include the full plan payload in each response line",
+    )
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("trace", help="inspect trace files written by --trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

@@ -78,6 +78,7 @@ __all__ = [
     "run_grid",
     "save_results",
     "load_results",
+    "JsonlCache",
     "ResultCache",
     "verify_cache",
 ]
@@ -697,21 +698,27 @@ def load_results(path: str | Path) -> list[RunResult]:
 # ------------------------------------------------------------------ cache
 
 
-class ResultCache:
-    """Append-only JSONL instance cache keyed by scenario tuple.
+class JsonlCache:
+    """Append-only JSONL cache with quarantine, repair and batched flushes.
+
+    The hardened persistence core behind :class:`ResultCache` (sweep
+    results keyed by scenario tuple) and the plan server's
+    :class:`repro.serve.PlanStore` (plans keyed by request fingerprint).
+    Subclasses define the record codec: :meth:`_encode` (record →
+    JSON-ready dict), :meth:`_decode` (parsed dict → record, raising
+    ``ValueError`` on anything malformed) and :meth:`_key` (record →
+    hashable cache key).
 
     Each :meth:`put` buffers one record; buffers are appended to the file
     every ``flush_every`` inserts (and on :meth:`flush`/context exit) in
     a single fsync'd write, so inserting N results costs O(N) I/O and a
-    killed process loses at most the unflushed buffer.  A cache file in
-    the legacy :func:`save_results` JSON-array format is migrated to
-    JSONL atomically (temp file + rename) on the first flush.
+    killed process loses at most the unflushed buffer.
 
     Loading is *recovering*: corrupt, truncated or NaN-bearing lines are
     quarantined (logged, appended to a ``<name>.quarantine`` sidecar)
     and the valid remainder is kept; the first subsequent flush rewrites
     the file clean.  Duplicate keys resolve last-write-wins.  Concurrent
-    sweep processes may append to the same cache (each flush is one
+    processes may append to the same cache (each flush is one
     ``O_APPEND`` write); only migration/repair rewrites, which assumes a
     single writer.
     """
@@ -721,35 +728,53 @@ class ResultCache:
             raise ValueError("flush_every must be >= 1")
         self.path = Path(path)
         self.flush_every = flush_every
-        self._data: dict[tuple, RunResult] = {}
-        self._pending: list[RunResult] = []
+        self._data: dict = {}
+        self._pending: list = []
         self._legacy = False
         self._needs_rewrite = False
         self.quarantined: list[tuple[int, str, str]] = []  # (lineno, reason, line)
         if self.path.exists():
             self._load()
 
+    # -- record codec (subclass responsibility) ----------------------------
+
+    def _encode(self, record) -> dict:
+        """JSON-ready dict for one record."""
+        raise NotImplementedError
+
+    def _decode(self, obj: dict):
+        """Parse one record dict; must raise ``ValueError`` if malformed."""
+        raise NotImplementedError
+
+    def _key(self, record):
+        """Hashable cache key of one record."""
+        raise NotImplementedError
+
+    def _load_legacy(self, text: str) -> bool:
+        """Hook for pre-JSONL formats (first byte ``[``).  Return ``True``
+        after populating ``_data`` to mark the file for atomic migration
+        on the next flush; the base class knows no legacy format."""
+        return False
+
     def _load(self) -> None:
         text = self.path.read_text()
         stripped = text.lstrip()
         if not stripped:
             return
-        if stripped[0] == "[":
-            # legacy JSON array: all-or-nothing (the atomic migration
+        if stripped[0] == "[" and self._load_legacy(text):
+            # legacy format: all-or-nothing (the atomic migration
             # guarantees we never see a half-written one)
             self._legacy = True
-            for r in load_results(self.path):
-                self._data[r.key] = r
             return
         for lineno, line in enumerate(text.split("\n"), start=1):
             if not line.strip():
                 continue
             try:
-                r = _record_from_dict(json.loads(line, parse_constant=_reject_nan))
+                r = self._decode(json.loads(line, parse_constant=_reject_nan))
             except ValueError as exc:
                 self.quarantined.append((lineno, str(exc), line))
             else:
-                self._data[r.key] = r
+                self._data[self._key(r)] = r
         if self.quarantined:
             self._needs_rewrite = True
             self._write_quarantine()
@@ -774,16 +799,17 @@ class ResultCache:
         except OSError:  # read-only location: the log line above suffices
             pass
 
-    def get(self, key: tuple) -> RunResult | None:
+    def get(self, key):
         return self._data.get(key)
 
-    def put(self, result: RunResult) -> None:
-        if result.key in self._data:
+    def put(self, record) -> None:
+        key = self._key(record)
+        if key in self._data:
             # overwrite (e.g. a --resume re-run): appending would leave a
             # stale duplicate line, so force an atomic dedup rewrite
             self._needs_rewrite = True
-        self._data[result.key] = result
-        self._pending.append(result)
+        self._data[key] = record
+        self._pending.append(record)
         if len(self._pending) >= self.flush_every:
             self.flush()
 
@@ -791,7 +817,7 @@ class ResultCache:
         tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
         with tmp.open("w") as fh:
             for r in self._data.values():
-                fh.write(json.dumps(_to_jsonable(r)) + "\n")
+                fh.write(json.dumps(self._encode(r)) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
@@ -809,7 +835,7 @@ class ResultCache:
                 self._rewrite_atomic()
             else:
                 payload = "".join(
-                    json.dumps(_to_jsonable(r)) + "\n" for r in self._pending
+                    json.dumps(self._encode(r)) + "\n" for r in self._pending
                 )
                 with self.path.open("a") as fh:
                     fh.write(payload)
@@ -832,7 +858,7 @@ class ResultCache:
         self._pending.clear()
         return True
 
-    def __enter__(self) -> "ResultCache":
+    def __enter__(self) -> "JsonlCache":
         return self
 
     def __exit__(self, *exc) -> None:
@@ -840,6 +866,31 @@ class ResultCache:
 
     def __len__(self) -> int:
         return len(self._data)
+
+
+class ResultCache(JsonlCache):
+    """Append-only JSONL instance cache keyed by scenario tuple.
+
+    The :class:`JsonlCache` hardening applies: fsync'd batched appends,
+    quarantine + recovery of corrupt lines, atomic dedup rewrites.  A
+    cache file in the legacy :func:`save_results` JSON-array format is
+    migrated to JSONL atomically (temp file + rename) on the first
+    flush.
+    """
+
+    def _encode(self, record: RunResult) -> dict:
+        return _to_jsonable(record)
+
+    def _decode(self, obj: dict) -> RunResult:
+        return _record_from_dict(obj)
+
+    def _key(self, record: RunResult) -> tuple:
+        return record.key
+
+    def _load_legacy(self, text: str) -> bool:
+        for r in load_results(self.path):
+            self._data[r.key] = r
+        return True
 
 
 def verify_cache(path: str | Path) -> dict:

@@ -86,6 +86,41 @@ class Certificate:
             out["quarantined"] = self.quarantined.to_dict()
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Certificate":
+        """Inverse of :meth:`to_dict` (``wall_s`` is not serialized and
+        reloads as 0).  Raises ``ValueError`` on malformed input."""
+        from .perturb import RobustnessReport
+
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"certificate must be a JSON object, got {type(data).__name__}"
+            )
+        try:
+            rob = data.get("robustness")
+            quar = data.get("quarantined")
+            period = data.get("period")
+            return cls(
+                ok=bool(data["ok"]),
+                mode=str(data.get("mode", "verified")),
+                source=str(data.get("source", "")),
+                period=None if period is None else float(period),
+                periods_simulated=int(data.get("periods_simulated", 0)),
+                violations=[str(v) for v in data.get("violations", ())],
+                peak_memory={
+                    int(p): float(m)
+                    for p, m in dict(data.get("peak_memory", {})).items()
+                },
+                oom_margin={
+                    int(p): float(m)
+                    for p, m in dict(data.get("oom_margin", {})).items()
+                },
+                robustness=None if rob is None else RobustnessReport.from_dict(rob),
+                quarantined=None if quar is None else cls.from_dict(quar),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"malformed certificate: {exc!r}") from exc
+
 
 def certify_pattern(
     chain: Chain,

@@ -112,6 +112,40 @@ class RobustnessReport:
             "worst_sample_sim_violations": self.worst_sample_sim_violations,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RobustnessReport":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` when malformed."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"robustness report must be a JSON object, got {type(data).__name__}"
+            )
+        try:
+            breaking = data.get("breaking_noise_scale")
+            return cls(
+                seed=int(data["seed"]),
+                samples=int(data["samples"]),
+                noise=dict(data["noise"]),
+                period=float(data["period"]),
+                break_inflation=float(data["break_inflation"]),
+                max_noise_scale=float(data["max_noise_scale"]),
+                worst_period_inflation=float(data["worst_period_inflation"]),
+                mean_period_inflation=float(data["mean_period_inflation"]),
+                oom_margin={
+                    int(p): float(m) for p, m in dict(data["oom_margin"]).items()
+                },
+                worst_oom_margin={
+                    int(p): float(m)
+                    for p, m in dict(data["worst_oom_margin"]).items()
+                },
+                oom_samples=int(data["oom_samples"]),
+                breaking_noise_scale=None if breaking is None else float(breaking),
+                worst_sample_sim_violations=int(
+                    data["worst_sample_sim_violations"]
+                ),
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"malformed robustness report: {exc!r}") from exc
+
 
 def _op_durations(
     chain: Chain, platform: Platform, pattern: PeriodicPattern

@@ -1,0 +1,38 @@
+"""Planner-as-a-service: an asyncio planning service over :mod:`repro.api`.
+
+The solver stack answers "how do I place this chain on this platform"
+fast per instance; this package makes it answer the question *as a
+service* under concurrent, partially-repeated traffic:
+
+* :func:`repro.warmstart.request_fingerprint` — canonical request
+  identity (chain values, platform values, algorithm, options) with
+  float normalization and key-order independence;
+* :class:`PlanStore` / :class:`PlanCache` — a two-tier plan cache:
+  in-process LRU over a persistent append-only JSONL store built on the
+  hardened :class:`repro.experiments.harness.JsonlCache` (fsync'd
+  appends, quarantine + recovery, atomic repair);
+* :class:`PlanService` — single-flight request coalescing in front of a
+  bounded worker pool with per-request deadline/retry/backoff, the
+  warm-start context active inside workers, and ``serve.*`` counters +
+  per-request spans through :mod:`repro.obs`.
+
+Entry points: :func:`repro.api.serve` (facade constructor) and the
+``repro serve`` CLI (a JSONL request loop on stdin).  Benchmarked by
+``benchmarks/bench_serve.py`` (``BENCH_serve.json``): QPS under a Zipf
+traffic replay vs naive serial :func:`repro.api.plan`, with every served
+plan asserted bit-identical to a direct cold solve.
+"""
+
+from ..warmstart import canonical_value, request_fingerprint
+from .service import PlanRequest, PlanService, ServeReply
+from .store import PlanCache, PlanStore
+
+__all__ = [
+    "PlanCache",
+    "PlanRequest",
+    "PlanService",
+    "PlanStore",
+    "ServeReply",
+    "canonical_value",
+    "request_fingerprint",
+]

@@ -1,0 +1,363 @@
+"""The asyncio planning service: coalescing, caching, bounded solving.
+
+One :class:`PlanService` owns a two-tier :class:`~repro.serve.store.
+PlanCache`, a single-flight table of in-progress solves, and a bounded
+``ProcessPoolExecutor``.  A request travels::
+
+    handle(request)
+      └─ fingerprint (repro.warmstart.request_fingerprint)
+      └─ cache?   → serve ("memory" / "store")          serve.hits
+      └─ inflight?→ await the one running solve         serve.coalesced
+      └─ solve    → worker pool, deadline + retries     serve.solves
+                    (warm-start context active)
+
+Every path returns the plan through the same deterministic
+:meth:`repro.api.PlanResult.to_json` payload, so cached, coalesced and
+fresh responses are bit-identical to a direct cold
+:func:`repro.api.plan` call (``benchmarks/bench_serve.py`` asserts this
+before reporting any number).
+
+Resilience reuses the sweep harness machinery: the worker enforces the
+per-request deadline with :func:`repro.experiments.harness._deadline`
+(SIGALRM), crashes and timeouts retry with exponential backoff + jitter,
+and a hard worker death (``BrokenProcessPool``) rebuilds the pool.  The
+fault-injection sites ``serve_solve`` (service side, before a solve is
+dispatched) and ``serve_worker`` (inside the worker) make kill-and-
+restart scenarios deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .. import obs, warmstart
+from ..core.chain import Chain
+from ..core.platform import Platform
+from ..experiments.harness import _deadline
+from ..testing import faults
+from ..warmstart import request_fingerprint
+from .store import PlanCache, PlanStore
+
+__all__ = ["PlanRequest", "PlanService", "ServeReply"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning query: (chain, platform, algorithm, options)."""
+
+    chain: Chain
+    platform: Platform
+    algorithm: str = "madpipe"
+    opts: Mapping[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Canonical request identity (cached after the first call)."""
+        fp = self.__dict__.get("_fingerprint")
+        if fp is None:
+            fp = request_fingerprint(
+                self.chain, self.platform, self.algorithm, self.opts
+            )
+            object.__setattr__(self, "_fingerprint", fp)
+        return fp
+
+
+@dataclass
+class ServeReply:
+    """One answered request: the plan plus how it was served.
+
+    ``served_from`` is ``"solve"`` (fresh), ``"memory"`` / ``"store"``
+    (cache tier) or ``"coalesced"`` (shared another request's solve).
+    """
+
+    result: Any  # repro.api.PlanResult
+    fingerprint: str
+    served_from: str
+    latency_s: float
+
+    @property
+    def cached(self) -> bool:
+        return self.served_from in ("memory", "store")
+
+
+def _solve_in_worker(payload: tuple) -> tuple[dict, dict]:
+    """Worker entry point (module-level picklable): rebuild the request,
+    solve it under the warm-start context and the per-request deadline,
+    and ship back ``(plan payload, counter snapshot)``."""
+    chain_dict, plat, algorithm, opts, timeout, warm, fingerprint = payload
+    from ..api import plan  # deferred: repro.api imports this package
+
+    chain = Chain.from_dict(chain_dict)
+    platform = Platform(*plat)
+    faults.fire("serve_worker", key=fingerprint)
+    registry = obs.MetricsRegistry()
+    spec = (chain.name, platform.n_procs, platform.memory, platform.bandwidth,
+            algorithm)
+    with warmstart.activate(warm), obs.use_metrics(registry):
+        with _deadline(timeout, spec):
+            result = plan(chain, platform, algorithm=algorithm, **dict(opts))
+    return result.to_json(), registry.snapshot()
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class PlanService:
+    """A long-lived planning service over :func:`repro.api.plan`.
+
+    Construct via :func:`repro.api.serve` (the pinned facade) or
+    directly; drive with :meth:`handle` / :meth:`submit` from asyncio
+    code, and :meth:`close` when done.  All coordination state lives on
+    the event loop — :meth:`handle` must always be awaited from the same
+    running loop (the normal asyncio discipline).
+
+    ``max_workers`` bounds the solver pool: ``N >= 1`` dispatches cache
+    misses to ``N`` worker processes (each keeps its own per-process
+    warm-start database, exactly like sweep workers); ``0`` solves on
+    the event loop's default thread pool — no pickling, but the SIGALRM
+    deadline degrades to a no-op off the main thread.
+
+    Observability: ``serve.*`` counters accumulate on :attr:`registry`
+    (``requests``, ``hits`` + ``hits_memory``/``hits_store``,
+    ``coalesced``, ``solves``, ``retries``, ``pool_restarts``,
+    ``errors``) alongside the merged solver counters from workers; a
+    ``serve.request`` span is recorded per request when a trace is
+    installed in the calling context.  :meth:`stats` adds queue depth
+    and p50/p95/max latency over a sliding window.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: "PlanStore | str | Path | None" = None,
+        memory_entries: int = 1024,
+        max_workers: int = 1,
+        instance_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.5,
+        warm_start: bool = True,
+        latency_window: int = 4096,
+    ):
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.cache = PlanCache(memory_entries, store)
+        self.max_workers = max_workers
+        self.instance_timeout = instance_timeout
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.warm_start = warm_start
+        self.registry = obs.MetricsRegistry()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._active_solves = 0
+        self._peak_active = 0
+        self._closed = False
+
+    # -- request construction ---------------------------------------------
+
+    def request(
+        self,
+        chain: Chain,
+        platform: Platform,
+        *,
+        algorithm: str = "madpipe",
+        **opts: Any,
+    ) -> PlanRequest:
+        """Build a :class:`PlanRequest` with :func:`repro.api.plan`'s
+        keyword conventions."""
+        return PlanRequest(chain, platform, algorithm, dict(opts))
+
+    # -- serving ------------------------------------------------------------
+
+    async def submit(
+        self,
+        chain: "Chain | PlanRequest",
+        platform: Platform | None = None,
+        *,
+        algorithm: str = "madpipe",
+        **opts: Any,
+    ):
+        """Answer one request and return its :class:`repro.api.PlanResult`.
+
+        Accepts either a ready :class:`PlanRequest` or the
+        ``(chain, platform, algorithm=…, **opts)`` spelling of
+        :func:`repro.api.plan`.
+        """
+        if isinstance(chain, PlanRequest):
+            request = chain
+        else:
+            if platform is None:
+                raise TypeError("submit(chain, platform, ...) needs a platform")
+            request = self.request(chain, platform, algorithm=algorithm, **opts)
+        reply = await self.handle(request)
+        return reply.result
+
+    async def handle(self, request: PlanRequest) -> ServeReply:
+        """Answer one request, reporting how it was served."""
+        if self._closed:
+            raise RuntimeError("PlanService is closed")
+        from ..api import PlanResult  # deferred: api imports this package
+
+        t0 = time.perf_counter()
+        fingerprint = request.fingerprint()
+        self.registry.inc("serve.requests")
+        with obs.span(
+            "serve.request",
+            algorithm=request.algorithm,
+            fingerprint=fingerprint[:12],
+        ) as sp:
+            served_from, payload = await self._resolve(request, fingerprint)
+            sp.set(served_from=served_from)
+        latency = time.perf_counter() - t0
+        self._latencies.append(latency)
+        return ServeReply(
+            result=PlanResult.from_json(payload),
+            fingerprint=fingerprint,
+            served_from=served_from,
+            latency_s=latency,
+        )
+
+    async def _resolve(
+        self, request: PlanRequest, fingerprint: str
+    ) -> tuple[str, dict]:
+        hit = self.cache.get(fingerprint)
+        if hit is not None:
+            tier, payload = hit
+            self.registry.inc("serve.hits")
+            self.registry.inc(f"serve.hits_{tier}")
+            return tier, payload
+        shared = self._inflight.get(fingerprint)
+        if shared is not None:
+            # single flight: identical concurrent queries share one solve
+            self.registry.inc("serve.coalesced")
+            return "coalesced", await asyncio.shield(shared)
+        loop = asyncio.get_running_loop()
+        flight: asyncio.Future = loop.create_future()
+        self._inflight[fingerprint] = flight
+        try:
+            payload = await self._solve(request, fingerprint)
+        except BaseException as exc:
+            if not flight.done():
+                flight.set_exception(exc)
+                flight.exception()  # mark retrieved: waiters re-raise their own copy
+            raise
+        else:
+            if not flight.done():
+                flight.set_result(payload)
+            self.cache.put(fingerprint, payload)
+            self.registry.inc("serve.solves")
+            return "solve", payload
+        finally:
+            self._inflight.pop(fingerprint, None)
+
+    async def _solve(self, request: PlanRequest, fingerprint: str) -> dict:
+        faults.fire("serve_solve", key=fingerprint)
+        payload = (
+            request.chain.to_dict(),
+            (
+                request.platform.n_procs,
+                request.platform.memory,
+                request.platform.bandwidth,
+            ),
+            request.algorithm,
+            dict(request.opts),
+            self.instance_timeout,
+            self.warm_start,
+            fingerprint,
+        )
+        loop = asyncio.get_running_loop()
+        last: BaseException | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.registry.inc("serve.retries")
+                delay = min(self.retry_backoff_s * 2 ** (attempt - 1), 30.0)
+                await asyncio.sleep(delay * (1.0 + 0.25 * random.random()))
+            self._active_solves += 1
+            self._peak_active = max(self._peak_active, self._active_solves)
+            try:
+                plan_json, counts = await loop.run_in_executor(
+                    self._executor(), _solve_in_worker, payload
+                )
+            except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
+                raise
+            except BrokenProcessPool as exc:
+                # a worker died hard (SIGKILL/os._exit): rebuild the pool
+                # and charge one attempt, like the sweep harness
+                last = exc
+                self.registry.inc("serve.pool_restarts")
+                self._shutdown_pool()
+            except Exception as exc:
+                last = exc
+            else:
+                self.registry.merge(counts)
+                return plan_json
+            finally:
+                self._active_solves -= 1
+        self.registry.inc("serve.errors")
+        assert last is not None
+        raise last
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _executor(self) -> ProcessPoolExecutor | None:
+        if self.max_workers == 0:
+            return None  # event loop default thread pool (inline solving)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters, queue depth and latency percentiles (JSON-ready)."""
+        lat = sorted(self._latencies)
+        return {
+            "counters": self.registry.snapshot(),
+            "cached_plans": len(self.cache),
+            "inflight": len(self._inflight),
+            "queue_peak": self._peak_active,
+            "latency_ms": {
+                "count": len(lat),
+                "p50": _percentile(lat, 0.50) * 1e3,
+                "p95": _percentile(lat, 0.95) * 1e3,
+                "max": (lat[-1] if lat else 0.0) * 1e3,
+            },
+        }
+
+    async def close(self) -> None:
+        """Flush the persistent store and shut the worker pool down.
+
+        Idempotent; afterwards :meth:`handle` raises.  In-flight solves
+        are *not* awaited — callers still holding their coroutines keep
+        them — but the store flush persists everything already solved.
+        """
+        self._closed = True
+        self.cache.flush()
+        self._shutdown_pool()
+
+    async def __aenter__(self) -> "PlanService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -29,6 +29,12 @@ site               where                                      actions
                    pattern's source label
 ``certify``        entry of :func:`repro.api.certify`,        fail
                    keyed by the plan's source label
+``serve_solve``    plan service, before a cache-missed        raise, exit, sleep
+                   request is dispatched to the worker
+                   pool, keyed by the request fingerprint
+``serve_worker``   inside a plan-service worker, before       raise, exit, sleep
+                   the solve, keyed by the request
+                   fingerprint
 =================  =========================================  ===================
 
 Actions ``raise`` (raise :class:`FaultInjected`), ``exit``

@@ -56,20 +56,25 @@ certificate).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterator
+from typing import Iterator, Mapping
 
 import numpy as np
 
 __all__ = [
+    "LRU",
     "WarmContext",
     "activate",
     "active_warm",
+    "canonical_value",
     "chain_fingerprint",
+    "platform_fingerprint",
     "process_context",
+    "request_fingerprint",
     "reset_process_context",
 ]
 
@@ -102,7 +107,86 @@ def chain_fingerprint(chain) -> tuple:
     return fp
 
 
-class _LRU(OrderedDict):
+def platform_fingerprint(platform) -> tuple:
+    """Value-based identity for a platform (exact raw bytes/s values)."""
+    return canonical_value(
+        (platform.n_procs, platform.memory, platform.bandwidth)
+    )
+
+
+def canonical_value(value):
+    """Canonical, hashable form of a request value.
+
+    Two structurally-equivalent values — regardless of dict key order,
+    tuple-vs-list spelling or int-vs-float numeric type (``4`` vs
+    ``4.0``) — map to the same canonical form; any value difference maps
+    to a distinct one.  Numbers are compared as floats and rendered via
+    ``float.hex`` so the canonical form is exact (no decimal rounding).
+    Dataclasses (e.g. :class:`~repro.algorithms.madpipe_dp.Discretization`)
+    canonicalize as their type name plus field mapping.  Used by the
+    plan-server request fingerprints (:mod:`repro.serve`) and shared
+    with the warm-start keys here.
+    """
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, bool):  # before int: True must not equal 1.0
+        return ("bool", value)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return ("num", float(value).hex())
+    if isinstance(value, bytes):
+        return ("bytes", value)
+    if isinstance(value, Mapping):
+        return ("map",) + tuple(
+            sorted((str(k), canonical_value(v)) for k, v in value.items())
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            "obj",
+            type(value).__name__,
+            canonical_value(
+                {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+            ),
+        )
+    if isinstance(value, (list, tuple)):
+        return ("seq",) + tuple(canonical_value(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(sorted(map(repr, map(canonical_value, value))))
+    if isinstance(value, np.ndarray):
+        return (
+            "arr",
+            value.shape,
+            str(value.dtype),
+            np.ascontiguousarray(value).tobytes(),
+        )
+    if hasattr(value, "to_dict"):  # Chain and friends
+        return ("obj", type(value).__name__, canonical_value(value.to_dict()))
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for fingerprinting"
+    )
+
+
+def request_fingerprint(chain, platform, algorithm: str, opts: Mapping) -> str:
+    """Canonical fingerprint of one planning request.
+
+    A deterministic hex digest of (chain values, platform values,
+    algorithm, options), independent of option key order and of
+    int-vs-float numeric spelling.  Two requests with the same
+    fingerprint produce bit-identical :func:`repro.api.plan` results
+    (the chain fingerprint includes the chain *name* because certificate
+    source labels embed it).  This is the key of the plan-server cache
+    (:mod:`repro.serve`).
+    """
+    payload = (
+        "plan/v1",
+        chain_fingerprint(chain),
+        platform_fingerprint(platform),
+        str(algorithm),
+        canonical_value(dict(opts)),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+class LRU(OrderedDict):
     """Tiny move-to-front dict with a capacity bound."""
 
     def __init__(self, cap: int):
@@ -120,6 +204,10 @@ class _LRU(OrderedDict):
         self.move_to_end(key)
         while len(self) > self.cap:
             self.popitem(last=False)
+
+
+#: Backward-compatible alias (the class predates the serve layer).
+_LRU = LRU
 
 
 class WarmContext:
