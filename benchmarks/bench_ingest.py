@@ -1,0 +1,151 @@
+"""Measured-profile ingestion throughput and determinism.
+
+The ingestion subsystem (:mod:`repro.profiles`) is on the critical path
+between a profiling run and a certified plan: every raw trace line is
+schema-validated, every corrupt line quarantined, and every surviving
+sample folded into robust per-layer statistics.  This benchmark answers
+two questions about that path:
+
+* **throughput** — records/second through ``ingest_traces`` +
+  ``calibrate`` on a clean multi-run trace set and on a deliberately
+  damaged one (corrupt lines, NaN records, outliers), so the cost of the
+  validation and quarantine machinery is visible rather than assumed;
+* **determinism** — before any number is reported, the calibration of
+  the damaged trace set is run twice and asserted byte-identical
+  (``json.dumps(to_dict(), sort_keys=True)``).  A benchmark of a
+  non-deterministic ingest would be measuring noise.
+
+The measurement core is importable — ``scripts/bench_report.py`` uses it
+to emit ``BENCH_ingest.json``.  Run under pytest for the smoke mode.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.models import generate_traces, random_chain
+from repro.profiles import calibrate, ingest_traces
+from repro.profiling.cost_model import NoiseModel
+
+LAYERS = 64
+RUNS = 40
+REPEATS = 5
+SEED = 0
+
+SMOKE = dict(layers=8, runs=6, repeats=1)
+
+#: damage applied to the "dirty" trace set, scaled by record count
+CORRUPT_FRACTION = 0.02
+NAN_FRACTION = 0.01
+OUTLIER_FRACTION = 0.02
+
+
+def _measure(trace_dir: Path, chain, repeats: int) -> tuple[float, dict]:
+    """Best-of-``repeats`` wall time for ingest+calibrate; returns the
+    time and the final calibration dict (for identity checks)."""
+    best = float("inf")
+    payload = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        cal = calibrate(chain, ingest_traces(trace_dir))
+        best = min(best, time.perf_counter() - t0)
+        payload = cal.to_dict()
+    return best, payload
+
+
+def run_bench(
+    *,
+    smoke: bool = False,
+    layers: int | None = None,
+    runs: int | None = None,
+    repeats: int | None = None,
+    seed: int | None = None,
+) -> dict:
+    """The ingestion measurement; returns a JSON-ready result dict."""
+    cfg = dict(layers=LAYERS, runs=RUNS, repeats=REPEATS, seed=SEED)
+    if smoke:
+        cfg.update(SMOKE)
+    for key, override in (
+        ("layers", layers),
+        ("runs", runs),
+        ("repeats", repeats),
+        ("seed", seed),
+    ):
+        if override is not None:
+            cfg[key] = override
+
+    chain = random_chain(cfg["layers"], seed=cfg["seed"], name="bench")
+    n_records = cfg["layers"] * cfg["runs"]
+    noise = NoiseModel(sigma_compute=0.05, sigma_activation=0.03)
+    damage = dict(
+        corrupt_lines=max(1, int(n_records * CORRUPT_FRACTION)),
+        nan_records=max(1, int(n_records * NAN_FRACTION)),
+        outlier_records=max(1, int(n_records * OUTLIER_FRACTION)),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean_dir = Path(tmp) / "clean"
+        dirty_dir = Path(tmp) / "dirty"
+        generate_traces(
+            chain, clean_dir, runs=cfg["runs"], seed=cfg["seed"], noise=noise
+        )
+        generate_traces(
+            chain, dirty_dir, runs=cfg["runs"], seed=cfg["seed"], noise=noise,
+            csv_runs=1, **damage,
+        )
+
+        clean_s, _ = _measure(clean_dir, chain, cfg["repeats"])
+
+        # determinism gate: two full passes over the damaged set must
+        # produce byte-identical calibrations before timing is trusted
+        dirty_s, first = _measure(dirty_dir, chain, 1)
+        again_s, second = _measure(dirty_dir, chain, max(1, cfg["repeats"] - 1))
+        dirty_s = min(dirty_s, again_s)
+        identical = json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        if not identical:
+            raise AssertionError("repeated ingest produced different calibrations")
+
+        ts = ingest_traces(dirty_dir)
+        n_quarantined = ts.n_quarantined
+
+    return {
+        "config": dict(cfg),
+        "n_records": n_records,
+        "damage": damage,
+        "n_quarantined": n_quarantined,
+        "clean_s": clean_s,
+        "dirty_s": dirty_s,
+        "clean_records_per_s": n_records / clean_s if clean_s > 0 else float("inf"),
+        "dirty_records_per_s": n_records / dirty_s if dirty_s > 0 else float("inf"),
+        "quarantine_overhead": dirty_s / clean_s if clean_s > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
+def render(result: dict) -> str:
+    cfg = result["config"]
+    return (
+        f"{result['n_records']} records ({cfg['layers']} layers x "
+        f"{cfg['runs']} runs), {result['n_quarantined']} quarantined\n"
+        f"clean: {result['clean_s'] * 1e3:.1f}ms "
+        f"({result['clean_records_per_s']:.0f} rec/s) | "
+        f"dirty: {result['dirty_s'] * 1e3:.1f}ms "
+        f"({result['dirty_records_per_s']:.0f} rec/s) | "
+        f"overhead {result['quarantine_overhead']:.2f}x | "
+        f"byte-identical: {result['identical']}"
+    )
+
+
+def test_ingest_bench_smoke():
+    """Smoke run on a small chain so the harness cannot rot: ingestion
+    must quarantine the damage and calibrate byte-identically."""
+    result = run_bench(smoke=True)
+    assert result["identical"]
+    assert result["n_quarantined"] > 0
+    print()
+    print(render(result))

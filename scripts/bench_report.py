@@ -24,6 +24,10 @@ change.
 * ``--suite serve`` → ``BENCH_serve.json`` via
   ``benchmarks/bench_serve.py`` (plan-service QPS under a Zipf traffic
   replay vs naive serial ``api.plan``, hit/coalesce rates);
+* ``--suite ingest`` → ``BENCH_ingest.json`` via
+  ``benchmarks/bench_ingest.py`` (measured-profile ingestion +
+  calibration throughput on clean vs damaged traces, byte-identity
+  asserted before reporting);
 * ``--suite all`` (default) → all of the above.
 
 Usage::
@@ -50,6 +54,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_certify  # noqa: E402
 import bench_dp_hotpath  # noqa: E402
+import bench_ingest  # noqa: E402
 import bench_obs_overhead  # noqa: E402
 import bench_phase2_hotpath  # noqa: E402
 import bench_serve  # noqa: E402
@@ -178,6 +183,14 @@ def run_serve(smoke: bool, out_dir: Path) -> None:
     print(f"wrote {out}\n")
 
 
+def run_ingest(smoke: bool, out_dir: Path) -> None:
+    result = bench_ingest.run_bench(smoke=smoke)
+    out = out_dir / "BENCH_ingest.json"
+    out.write_text(json.dumps(_payload(smoke, result), indent=1) + "\n")
+    print(bench_ingest.render(result))
+    print(f"wrote {out}\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -187,7 +200,7 @@ def main() -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("dp", "phase2", "obs", "certify", "warm", "serve", "all"),
+        choices=("dp", "phase2", "obs", "certify", "warm", "serve", "ingest", "all"),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -209,6 +222,8 @@ def main() -> int:
         run_warm(args.smoke, out_dir)
     if args.suite in ("serve", "all"):
         run_serve(args.smoke, out_dir)
+    if args.suite in ("ingest", "all"):
+        run_ingest(args.smoke, out_dir)
     return 0
 
 

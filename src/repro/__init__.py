@@ -36,13 +36,17 @@ from .algorithms import (
     pipedream,
 )
 from .api import (
+    CalibrationResult,
     Certificate,
+    LayerNoiseModel,
     NoiseModel,
     PlanResult,
+    ProfileError,
     RobustnessReport,
     SweepResult,
     SweepSpec,
     certify,
+    ingest,
     plan,
     sweep,
 )
@@ -62,6 +66,7 @@ from .core import (
 from .models import (
     coarsen,
     densenet121,
+    generate_traces,
     inception,
     linearize,
     random_chain,
@@ -118,9 +123,13 @@ __all__ = [
     "plan",
     "sweep",
     "certify",
+    "ingest",
+    "CalibrationResult",
     "Certificate",
+    "LayerNoiseModel",
     "NoiseModel",
     "PlanResult",
+    "ProfileError",
     "RobustnessReport",
     "SweepResult",
     "SweepSpec",
@@ -148,6 +157,7 @@ __all__ = [
     "schedule_allocation",
     "coarsen",
     "densenet121",
+    "generate_traces",
     "inception",
     "linearize",
     "random_chain",

@@ -10,6 +10,10 @@ This module is the supported way in:
 * :func:`certify` — (re-)certify a plan through the discrete-event
   verifier and optionally stress-test it under seeded profile noise
   (:class:`repro.robust.RobustnessReport`);
+* :func:`ingest` — turn a directory of measured per-layer traces into a
+  calibrated chain + fitted per-layer noise model
+  (:class:`repro.profiles.CalibrationResult`), with quarantine and an
+  explicit coverage report;
 * :func:`load_chain` — re-exported profile loader, so a typical script
   needs nothing beyond ``repro.api``.
 
@@ -48,20 +52,25 @@ from .core.pattern import PeriodicPattern
 from .core.platform import Platform
 from .core.serialize import pattern_from_dict, pattern_to_dict
 from .experiments.harness import ResultCache, RunResult, run_grid
-from .profiling import NoiseModel, load_chain
+from .profiles import CalibrationResult, calibrate, ingest_traces
+from .profiling import LayerNoiseModel, NoiseModel, ProfileError, load_chain
 from .robust import Certificate, RobustnessReport, certify_pattern, robustness_report
 from .testing import faults
 
 __all__ = [
     "ALGORITHMS",
+    "CalibrationResult",
     "Certificate",
+    "LayerNoiseModel",
     "NoiseModel",
     "PlanResult",
     "PlanService",
+    "ProfileError",
     "RobustnessReport",
     "SweepResult",
     "SweepSpec",
     "certify",
+    "ingest",
     "load_chain",
     "plan",
     "serve",
@@ -320,6 +329,40 @@ def certify(
     if isinstance(plan_result, PlanResult):
         plan_result.certificate = cert
     return cert
+
+
+def ingest(
+    trace_dir: "str | Path",
+    baseline: Chain,
+    *,
+    min_samples: int = 3,
+    mad_k: float = 5.0,
+    default_noise: "NoiseModel | None" = None,
+) -> CalibrationResult:
+    """Ingest measured traces and calibrate them against ``baseline``.
+
+    Reads every ``*.jsonl``/``*.csv`` trace under ``trace_dir``
+    (corrupt records are quarantined to sidecar files, never fatal) and
+    fits a calibrated :class:`~repro.core.chain.Chain` plus a per-layer
+    :class:`~repro.profiling.LayerNoiseModel` — see
+    :mod:`repro.profiles` for the robustness contract.  The returned
+    :class:`~repro.profiles.CalibrationResult` carries the coverage
+    report and is marked ``degraded`` whenever any field fell back to
+    the baseline; feed its ``chain``/``noise`` to :func:`plan` and
+    :func:`certify` for observed-noise planning (CLI: ``repro ingest``,
+    ``repro certify --traces``).
+
+    Raises :class:`~repro.profiling.ProfileError` only for structural
+    problems (missing directory, no trace files).
+    """
+    traces = ingest_traces(trace_dir)
+    return calibrate(
+        baseline,
+        traces,
+        min_samples=min_samples,
+        mad_k=mad_k,
+        default_noise=default_noise,
+    )
 
 
 # ------------------------------------------------------------------ sweeps

@@ -7,6 +7,8 @@ Usage::
     python -m repro schedule rn50.json -p 4 -m 8 -b 12 --gantt -o sched.json
     python -m repro schedule rn50.json -p 4 -m 8 --trace trace.json --stats
     python -m repro certify rn50.json -p 4 -m 8 --samples 32 --seed 0 -o cert.json
+    python -m repro ingest traces/ rn50.json -o calib.json
+    python -m repro certify rn50.json -p 4 -m 8 --traces traces/ -o cert.json
     python -m repro trace summary trace.json
     python -m repro sweep --networks toy8 --procs 2 4 --out grid.jsonl --resume
     python -m repro cache verify grid.jsonl --fix
@@ -32,7 +34,7 @@ from .algorithms import Discretization, madpipe, pipedream
 from .core.platform import Platform
 from .core.serialize import save_pattern
 from .experiments.scenarios import network_builders
-from .profiling import V100, load_chain, profile_model, save_chain
+from .profiling import V100, chain_from_dict, load_chain, profile_model, save_chain
 from .models import linearize, vgg16
 from .viz.gantt import render_gantt
 from .viz.report import chain_report, schedule_report
@@ -175,15 +177,79 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest measured traces, calibrate against a baseline, emit JSON.
+
+    The output is a deterministic function of (traces, baseline,
+    min-samples, mad-k) — no timestamps — so re-running the command on
+    the same inputs is byte-identical.  Corrupt trace lines are
+    quarantined to ``<file>.quarantine`` sidecars and counted; they
+    never abort ingestion.
+    """
+    from .api import ingest
+    from .profiling import ProfileError
+
+    chain = load_chain(args.profile)
+    registry = obs.MetricsRegistry()
+    try:
+        with obs.use_metrics(registry):
+            cal = ingest(
+                args.traces,
+                chain,
+                min_samples=args.min_samples,
+                mad_k=args.mad_k,
+            )
+    except ProfileError as exc:
+        print(f"ingestion failed: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(cal.to_dict(), indent=1, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    else:
+        print(text)
+    if not args.quiet:
+        snap = registry.snapshot()
+        print(
+            f"{chain.name}: ingested {cal.n_records} record(s), "
+            f"{cal.n_quarantined} quarantined, "
+            f"{int(snap.get('ingest.rejected', 0))} outlier value(s) rejected",
+            file=sys.stderr,
+        )
+        if cal.degraded:
+            detail = []
+            if cal.fallback_layers:
+                detail.append(
+                    f"fallback layers: {', '.join(cal.fallback_layers)}"
+                )
+            if cal.unknown_layers:
+                detail.append(
+                    f"unknown trace layers: {', '.join(cal.unknown_layers)}"
+                )
+            print(
+                "calibration DEGRADED (" + "; ".join(detail) + ")",
+                file=sys.stderr,
+            )
+        if args.out:
+            print(f"wrote calibration to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     """Plan + certify + robustness-stress one profile; emit JSON.
 
     The payload is a deterministic function of (profile, platform,
     algorithm options, noise model, samples, seed) — no wall times —
     so the same invocation always produces byte-identical output.
+
+    With ``--traces`` the chain and noise model are calibrated from
+    measured traces first (see ``repro ingest``): planning and the
+    robustness report then run against the calibrated chain and the
+    fitted per-layer noise, and the payload carries the calibration's
+    coverage report.  A degraded calibration marks the overall status
+    ``degraded`` — loud, never silently blended.
     """
-    from .api import certify, plan
-    from .profiling import NoiseModel
+    from .api import certify, ingest, plan
+    from .profiling import NoiseModel, ProfileError
 
     chain = load_chain(args.profile)
     platform = Platform.of(args.procs, args.memory_gb, args.bandwidth_gbps)
@@ -200,6 +266,21 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         sigma_activation=args.sigma_activation,
         sigma_weight=args.sigma_weight,
     )
+    calibration = None
+    if args.traces:
+        try:
+            calibration = ingest(
+                args.traces,
+                chain,
+                min_samples=args.min_samples,
+                mad_k=args.mad_k,
+                default_noise=noise,
+            )
+        except ProfileError as exc:
+            print(f"ingestion failed: {exc}", file=sys.stderr)
+            return 2
+        chain = calibration.chain
+        noise = calibration.noise
     registry = obs.MetricsRegistry()
     with obs.use_metrics(registry):
         result = plan(chain, platform, algorithm=args.algorithm, **opts)
@@ -212,6 +293,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             samples=args.samples,
             seed=args.seed,
         )
+    status = result.status
+    if calibration is not None and calibration.degraded and status == "ok":
+        status = "degraded"
     payload = {
         "profile": str(args.profile),
         "network": chain.name,
@@ -222,14 +306,28 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             "bandwidth_gbps": args.bandwidth_gbps,
         },
         "memory_headroom": args.memory_headroom,
-        "status": result.status,
+        "status": status,
         "period": result.period if result.feasible else None,
         "certificate": cert.to_dict(),
     }
+    if calibration is not None:
+        payload["calibration"] = {
+            "traces": str(args.traces),
+            "degraded": calibration.degraded,
+            "coverage": [c.to_dict() for c in calibration.coverage],
+            "unknown_layers": list(calibration.unknown_layers),
+            "n_records": calibration.n_records,
+            "n_quarantined": calibration.n_quarantined,
+            "min_samples": calibration.min_samples,
+            "mad_k": calibration.mad_k,
+            "noise": calibration.noise.to_dict(),
+        }
     text = json.dumps(payload, indent=1, sort_keys=True)
     if args.out:
         Path(args.out).write_text(text + "\n")
-        verdict = "certified" if cert.ok else "NOT certified"
+        verdict = "NOT certified" if not cert.ok else (
+            "certified (calibration degraded)" if status == "degraded" else "certified"
+        )
         print(f"{chain.name} [{args.algorithm}]: {verdict}; wrote {args.out}")
     else:
         print(text)
@@ -363,11 +461,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _parse_serve_request(line: str, lineno: int) -> "tuple[dict, object, Platform]":
     """Decode one JSONL serve request into (raw, chain, platform).
 
-    A request names its chain either by scenario (``"network": "toy8"``,
-    any paper network or ``toy<L>``) or by profile file
-    (``"profile": "rn50.json"``), plus the platform and optional
-    ``"algorithm"`` / ``"opts"``.  Raises ``ValueError`` with a
-    line-anchored message on anything malformed.
+    A request names its chain by scenario (``"network": "toy8"``, any
+    paper network or ``toy<L>``), by profile file
+    (``"profile": "rn50.json"``) or inline (``"chain": {...}`` in the
+    profile JSON format, validated strictly), plus the platform and
+    optional ``"algorithm"`` / ``"opts"``.  Raises ``ValueError`` with a
+    line-anchored message on anything malformed — the serve loop turns
+    that into a structured ``ok=false`` response with ``stage="parse"``,
+    so a bad request never reaches the solver or the ``serve.errors``
+    counter.
     """
     from .experiments.scenarios import paper_chain
 
@@ -379,12 +481,19 @@ def _parse_serve_request(line: str, lineno: int) -> "tuple[dict, object, Platfor
         raise ValueError(f"line {lineno}: request must be a JSON object")
     network = obj.get("network")
     profile = obj.get("profile")
-    if (network is None) == (profile is None):
+    inline = obj.get("chain")
+    if sum(x is not None for x in (network, profile, inline)) != 1:
         raise ValueError(
-            f"line {lineno}: exactly one of 'network' or 'profile' is required"
+            f"line {lineno}: exactly one of 'network', 'profile' or "
+            f"'chain' is required"
         )
     try:
-        chain = paper_chain(network) if network else load_chain(profile)
+        if network is not None:
+            chain = paper_chain(network)
+        elif profile is not None:
+            chain = load_chain(profile)
+        else:
+            chain = chain_from_dict(inline, source=f"line {lineno}: 'chain'")
     except (OSError, ValueError, KeyError) as exc:
         raise ValueError(f"line {lineno}: cannot load chain: {exc}") from None
     try:
@@ -423,9 +532,11 @@ async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
     async def one(lineno: int, line: str) -> None:
         nonlocal failures
         rid = None
+        stage = "parse"
         try:
             obj, chain, platform = _parse_serve_request(line, lineno)
             rid = obj.get("id", lineno)
+            stage = "solve"
             request = service.request(
                 chain,
                 platform,
@@ -436,7 +547,13 @@ async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
                 reply = await service.handle(request)
         except Exception as exc:  # one bad request must not kill the loop
             failures += 1
-            emit({"id": rid, "ok": False, "error": str(exc)})
+            if rid is None:  # parse failed before the id was read: best effort
+                try:
+                    peek = json.loads(line)
+                    rid = peek.get("id", lineno) if isinstance(peek, dict) else None
+                except json.JSONDecodeError:
+                    pass
+            emit({"id": rid, "ok": False, "stage": stage, "error": str(exc)})
             return
         response = {
             "id": rid,
@@ -530,6 +647,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=None)
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser(
+        "ingest",
+        help="ingest measured per-layer traces (JSONL/CSV) and calibrate a "
+        "chain + per-layer noise model against a baseline profile; corrupt "
+        "records are quarantined to sidecars, never fatal",
+    )
+    p.add_argument("traces", help="directory of *.jsonl / *.csv trace files")
+    p.add_argument("profile", help="baseline chain profile (JSON)")
+    p.add_argument(
+        "--min-samples", type=int, default=3,
+        help="coverage floor per (layer, field); fewer surviving samples "
+        "fall back to the baseline and mark the result degraded",
+    )
+    p.add_argument(
+        "--mad-k", type=float, default=5.0,
+        help="outlier cut in robust (MAD-based) standard deviations",
+    )
+    p.add_argument("--quiet", action="store_true")
+    p.add_argument("-o", "--out", default=None, metavar="PATH")
+    p.set_defaults(func=_cmd_ingest)
+
     p = sub.add_parser("schedule", help="schedule a profile on a platform")
     p.add_argument("profile")
     p.add_argument("-p", "--procs", type=int, required=True)
@@ -614,6 +752,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-robustness", action="store_true",
         help="verify only; skip the noise stress test",
+    )
+    p.add_argument(
+        "--traces", default=None, metavar="DIR",
+        help="calibrate chain + per-layer noise from measured traces in DIR "
+        "first (see 'repro ingest'); the robustness report then reflects "
+        "observed variance and a degraded calibration degrades the status",
+    )
+    p.add_argument(
+        "--min-samples", type=int, default=3,
+        help="calibration coverage floor per (layer, field) (with --traces)",
+    )
+    p.add_argument(
+        "--mad-k", type=float, default=5.0,
+        help="calibration outlier cut in robust standard deviations "
+        "(with --traces)",
     )
     p.add_argument("--stats", action="store_true")
     p.add_argument("-o", "--out", default=None, metavar="PATH")

@@ -6,7 +6,7 @@ from .inception import inception
 from .linearize import coarsen, linearize
 from .mobilenet import mobilenet_v1
 from .resnet import resnet, resnet50, resnet101
-from .synthetic import random_chain, uniform_chain
+from .synthetic import generate_traces, random_chain, uniform_chain
 from .transformer import transformer_encoder
 from .unet import unet
 from .vgg import vgg16
@@ -27,4 +27,5 @@ __all__ = [
     "unet",
     "random_chain",
     "uniform_chain",
+    "generate_traces",
 ]

@@ -1,14 +1,19 @@
 """Synthetic chain generators for tests, property-based testing and
-benchmarks that should not depend on the model zoo.
+benchmarks that should not depend on the model zoo — plus a seeded trace
+generator producing fake-but-realistic measured-profile fixtures for the
+ingestion subsystem.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 
 from ..core.chain import Chain, LayerProfile
 
-__all__ = ["random_chain", "uniform_chain"]
+__all__ = ["generate_traces", "random_chain", "uniform_chain"]
 
 
 def random_chain(
@@ -68,3 +73,113 @@ def uniform_chain(
         input_activation if input_activation is not None else activation,
         name=name,
     )
+
+
+def generate_traces(
+    chain: Chain,
+    out_dir: str | Path,
+    *,
+    runs: int = 5,
+    seed: int = 0,
+    noise=None,
+    csv_runs: int = 1,
+    time_unit: str = "s",
+    corrupt_lines: int = 0,
+    nan_records: int = 0,
+    outlier_records: int = 0,
+    outlier_scale: float = 25.0,
+    missing_layers: tuple[str, ...] = (),
+) -> list[Path]:
+    """Write seeded fake measured traces for ``chain`` under ``out_dir``.
+
+    Each run perturbs the chain with ``noise`` (default: the stock
+    :class:`~repro.profiling.NoiseModel`) and emits one trace record per
+    layer — ``run{r:02d}.jsonl``, with the last ``csv_runs`` runs as CSV
+    instead, so both ingestion paths get exercised.  Durations are
+    written in ``time_unit`` to exercise unit normalization.
+
+    Corruption knobs (all deterministic per ``seed``, for robustness
+    fixtures): ``corrupt_lines`` truncated-JSON garbage lines spliced
+    into the JSONL runs, ``nan_records`` records with a NaN duration,
+    ``outlier_records`` records with durations inflated by
+    ``outlier_scale``, and ``missing_layers`` omitted from every run
+    (simulating layers the profiler had no hook on).
+
+    Returns the written trace file paths, sorted.
+    """
+    # local imports: models ← profiling/profiles would cycle at module scope
+    from ..profiles.schema import SCHEMA_VERSION, TIME_UNITS
+    from ..profiling.cost_model import NoiseModel
+
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    if not 0 <= csv_runs <= runs:
+        raise ValueError("csv_runs must be between 0 and runs")
+    if time_unit not in TIME_UNITS:
+        raise ValueError(
+            f"unknown time unit {time_unit!r}; choose from {sorted(TIME_UNITS)}"
+        )
+    if noise is None:
+        noise = NoiseModel()
+    unknown = sorted(set(missing_layers) - {layer.name for layer in chain.layers})
+    if unknown:
+        raise ValueError(f"missing_layers not in chain: {unknown}")
+    unit = TIME_UNITS[time_unit]
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    ss = np.random.SeedSequence(seed)
+    rng_noise, rng_corrupt = (np.random.default_rng(s) for s in ss.spawn(2))
+
+    per_run: list[list[dict]] = []
+    for r in range(runs):
+        perturbed = noise.apply(chain, noise.draw(rng_noise, 1, chain.L)[0])
+        records = []
+        for layer in perturbed.layers:
+            if layer.name in missing_layers:
+                continue
+            rec = {
+                "schema": SCHEMA_VERSION,
+                "run": r,
+                "layer": layer.name,
+                "u_f": layer.u_f / unit,
+                "u_b": layer.u_b / unit,
+                "weights": layer.weights,
+                "activation": layer.activation,
+            }
+            if time_unit != "s":
+                rec["time_unit"] = time_unit
+            records.append(rec)
+        per_run.append(records)
+
+    flat = [(r, i) for r in range(runs) for i in range(len(per_run[r]))]
+    n_damage = min(nan_records + outlier_records, len(flat))
+    damage = [flat[k] for k in rng_corrupt.choice(len(flat), n_damage, replace=False)]
+    for r, i in damage[:nan_records]:
+        per_run[r][i]["u_f"] = float("nan")
+    for r, i in damage[nan_records:]:
+        per_run[r][i]["u_f"] *= outlier_scale
+        per_run[r][i]["u_b"] *= outlier_scale
+
+    paths: list[Path] = []
+    n_jsonl = runs - csv_runs
+    for r, records in enumerate(per_run):
+        if r < n_jsonl:
+            path = root / f"run{r:02d}.jsonl"
+            lines = [json.dumps(rec, sort_keys=True) for rec in records]
+            if r == 0 and corrupt_lines > 0 and lines:
+                # splice truncated-JSON garbage at deterministic positions
+                for c in range(corrupt_lines):
+                    pos = int(rng_corrupt.integers(0, len(lines) + 1))
+                    lines.insert(pos, lines[pos % len(lines)][: 20 + c])
+            path.write_text("\n".join(lines) + "\n")
+        else:
+            path = root / f"run{r:02d}.csv"
+            cols = ("schema", "run", "layer", "u_f", "u_b", "weights",
+                    "activation", "time_unit")
+            rows = [
+                ",".join(str(rec.get(k, "")) for k in cols) for rec in records
+            ]
+            path.write_text("\n".join([",".join(cols)] + rows) + "\n")
+        paths.append(path)
+    return sorted(paths)
+

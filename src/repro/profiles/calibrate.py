@@ -1,0 +1,326 @@
+"""Robust calibration: traces → calibrated Chain + fitted noise model.
+
+Given a baseline :class:`~repro.core.chain.Chain` (the synthetic profile
+the planner would otherwise use) and an ingested :class:`~repro.profiles.
+ingest.TraceSet`, :func:`calibrate` produces a
+:class:`CalibrationResult`:
+
+* a **calibrated chain** — per-layer medians of the measured
+  ``u_F``/``u_B``/``W_l``/``a_l`` after MAD-based outlier rejection
+  (median/MAD, not mean/stddev: one thermal-throttle spike must not
+  drag a point estimate);
+* a **fitted noise model** — per-layer lognormal sigmas estimated from
+  the surviving samples' log-residual MAD
+  (:class:`~repro.profiling.LayerNoiseModel`), so ``repro certify``
+  stress-tests against *observed* variance instead of an assumed scalar;
+* a **coverage report** — per layer: how many samples arrived, how many
+  were rejected as outliers, and which fields fell back to the baseline
+  because fewer than ``min_samples`` measurements survived.
+
+Fallback is loud, never blended: an under-covered field keeps the
+baseline value and the ``default_noise`` sigma, the layer is listed in
+the coverage report, and the whole result is marked ``degraded``.  Trace
+layers that do not exist in the baseline chain are reported as
+``unknown_layers`` (and also mark the result degraded — a name mismatch
+means the traces may not belong to this network).
+
+Everything here is deterministic: medians over sorted samples, no RNG,
+no timestamps — the same traces always produce byte-identical
+serialized results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..core.chain import Chain, LayerProfile
+from ..profiling.cost_model import LayerNoiseModel, NoiseModel
+from .ingest import TraceSet
+
+__all__ = [
+    "LayerCoverage",
+    "CalibrationResult",
+    "calibrate",
+    "mad_filter",
+    "fit_lognormal_sigma",
+]
+
+#: MAD → stddev consistency constant for the normal distribution.
+MAD_SCALE = 1.4826
+
+#: The four calibratable fields of a layer, in serialization order.
+_FIELDS = ("u_f", "u_b", "weights", "activation")
+
+
+def _median(xs: list[float]) -> float:
+    """Median of a non-empty list (deterministic, no numpy dtype drift)."""
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    if n % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def mad_filter(xs: list[float], *, mad_k: float) -> tuple[list[float], int]:
+    """Drop samples farther than ``mad_k`` robust standard deviations
+    from the median; returns ``(kept, n_rejected)``.
+
+    When the MAD is zero (at least half the samples identical) no filter
+    is applied — a degenerate spread must not reject every non-identical
+    sample.
+    """
+    if len(xs) < 3:
+        return list(xs), 0
+    med = _median(xs)
+    mad = _median([abs(x - med) for x in xs])
+    if mad == 0.0:
+        return list(xs), 0
+    cut = mad_k * MAD_SCALE * mad
+    kept = [x for x in xs if abs(x - med) <= cut]
+    return kept, len(xs) - len(kept)
+
+
+def fit_lognormal_sigma(xs: list[float]) -> float | None:
+    """Robust lognormal sigma of positive samples: the MAD of the log
+    residuals, scaled to stddev.  ``None`` when fewer than two positive
+    samples exist (no spread to estimate)."""
+    pos = [x for x in xs if x > 0 and math.isfinite(x)]
+    if len(pos) < 2:
+        return None
+    logs = [math.log(x) for x in pos]
+    med = _median(logs)
+    return MAD_SCALE * _median([abs(v - med) for v in logs])
+
+
+@dataclass(frozen=True)
+class LayerCoverage:
+    """How well the traces covered one baseline layer.
+
+    ``samples`` counts records naming this layer, ``outliers`` the
+    sample values the MAD filter rejected (summed over fields), and
+    ``fallback`` the fields that kept the baseline value + default sigma
+    because fewer than ``min_samples`` measurements survived.
+    """
+
+    layer: str
+    samples: int
+    outliers: int
+    fallback: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "samples": self.samples,
+            "outliers": self.outliers,
+            "fallback": list(self.fallback),
+        }
+
+
+@dataclass
+class CalibrationResult:
+    """The provenance-carrying outcome of one calibration pass."""
+
+    chain: Chain
+    noise: LayerNoiseModel
+    coverage: list[LayerCoverage]
+    degraded: bool
+    unknown_layers: tuple[str, ...] = ()
+    n_records: int = 0
+    n_quarantined: int = 0
+    min_samples: int = 3
+    mad_k: float = 5.0
+
+    @property
+    def fallback_layers(self) -> tuple[str, ...]:
+        """Names of layers with at least one fallback field."""
+        return tuple(c.layer for c in self.coverage if c.fallback)
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form (no timestamps, stable ordering)."""
+        return {
+            "schema": 1,
+            "chain": self.chain.to_dict(),
+            "noise": self.noise.to_dict(),
+            "coverage": [c.to_dict() for c in self.coverage],
+            "degraded": self.degraded,
+            "unknown_layers": list(self.unknown_layers),
+            "n_records": self.n_records,
+            "n_quarantined": self.n_quarantined,
+            "min_samples": self.min_samples,
+            "mad_k": self.mad_k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationResult":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` when malformed."""
+        from ..profiling.io import chain_from_dict
+
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"calibration must be a JSON object, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                chain=chain_from_dict(data["chain"], source="<calibration>"),
+                noise=LayerNoiseModel.from_dict(data["noise"]),
+                coverage=[
+                    LayerCoverage(
+                        layer=c["layer"],
+                        samples=int(c["samples"]),
+                        outliers=int(c["outliers"]),
+                        fallback=tuple(c.get("fallback", ())),
+                    )
+                    for c in data["coverage"]
+                ],
+                degraded=bool(data["degraded"]),
+                unknown_layers=tuple(data.get("unknown_layers", ())),
+                n_records=int(data.get("n_records", 0)),
+                n_quarantined=int(data.get("n_quarantined", 0)),
+                min_samples=int(data.get("min_samples", 3)),
+                mad_k=float(data.get("mad_k", 5.0)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed calibration: {exc!r}") from exc
+
+
+@dataclass
+class _FieldFit:
+    """One field of one layer: point estimate + sigma, or fallback."""
+
+    value: float
+    sigma: float
+    outliers: int = 0
+    fallback: bool = False
+
+
+def _fit_field(
+    samples: list[float],
+    baseline: float,
+    default_sigma: float,
+    *,
+    min_samples: int,
+    mad_k: float,
+) -> _FieldFit:
+    kept, rejected = mad_filter(samples, mad_k=mad_k)
+    if len(kept) < min_samples:
+        return _FieldFit(
+            value=baseline, sigma=default_sigma, outliers=rejected, fallback=True
+        )
+    sigma = fit_lognormal_sigma(kept)
+    if sigma is None:
+        # all-zero (or single positive) measurements: the point estimate
+        # is trustworthy, the spread is not — keep the default sigma
+        sigma = default_sigma
+    return _FieldFit(value=_median(kept), sigma=sigma, outliers=rejected)
+
+
+def calibrate(
+    baseline: Chain,
+    traces: TraceSet,
+    *,
+    min_samples: int = 3,
+    mad_k: float = 5.0,
+    default_noise: NoiseModel | None = None,
+) -> CalibrationResult:
+    """Fit a calibrated chain + per-layer noise model from ``traces``.
+
+    ``min_samples`` is the coverage floor per (layer, field): fewer
+    surviving measurements and the field falls back to ``baseline``'s
+    value with ``default_noise``'s sigma, marking the result
+    ``degraded``.  ``mad_k`` is the outlier cut in robust standard
+    deviations.  ``default_noise`` defaults to the stock
+    :class:`~repro.profiling.NoiseModel` (the PR 5 assumption) and also
+    supplies the input-activation sigma, which traces do not measure.
+    """
+    if min_samples < 1:
+        raise ValueError("min_samples must be >= 1")
+    if mad_k <= 0:
+        raise ValueError("mad_k must be > 0")
+    default = default_noise if default_noise is not None else NoiseModel()
+    by_layer = traces.by_layer()
+    known = {layer.name for layer in baseline.layers}
+    unknown = tuple(sorted(set(by_layer) - known))
+
+    layers: list[LayerProfile] = []
+    coverage: list[LayerCoverage] = []
+    sigma_compute: list[float] = []
+    sigma_weight: list[float] = []
+    sigma_activation: list[float] = [default.sigma_activation]  # a_0: unmeasured
+    n_outliers = 0
+
+    with obs.span("calibrate", network=baseline.name, layers=baseline.L):
+        for layer in baseline.layers:
+            recs = by_layer.get(layer.name, [])
+            fits = {
+                "u_f": _fit_field(
+                    [r.u_f for r in recs], layer.u_f, default.sigma_compute,
+                    min_samples=min_samples, mad_k=mad_k,
+                ),
+                "u_b": _fit_field(
+                    [r.u_b for r in recs], layer.u_b, default.sigma_compute,
+                    min_samples=min_samples, mad_k=mad_k,
+                ),
+                "weights": _fit_field(
+                    [r.weights for r in recs if r.weights is not None],
+                    layer.weights, default.sigma_weight,
+                    min_samples=min_samples, mad_k=mad_k,
+                ),
+                "activation": _fit_field(
+                    [r.activation for r in recs if r.activation is not None],
+                    layer.activation, default.sigma_activation,
+                    min_samples=min_samples, mad_k=mad_k,
+                ),
+            }
+            layers.append(
+                LayerProfile(
+                    name=layer.name,
+                    u_f=fits["u_f"].value,
+                    u_b=fits["u_b"].value,
+                    weights=fits["weights"].value,
+                    activation=fits["activation"].value,
+                )
+            )
+            # one compute sigma drives both u_F and u_B draws; take the
+            # worse of the two fits (conservative for certification)
+            sigma_compute.append(max(fits["u_f"].sigma, fits["u_b"].sigma))
+            sigma_weight.append(fits["weights"].sigma)
+            sigma_activation.append(fits["activation"].sigma)
+            outliers = sum(f.outliers for f in fits.values())
+            n_outliers += outliers
+            coverage.append(
+                LayerCoverage(
+                    layer=layer.name,
+                    samples=len(recs),
+                    outliers=outliers,
+                    fallback=tuple(k for k in _FIELDS if fits[k].fallback),
+                )
+            )
+
+    noise = LayerNoiseModel(
+        sigma_compute=tuple(sigma_compute),
+        sigma_activation=tuple(sigma_activation),
+        sigma_weight=tuple(sigma_weight),
+        distribution=default.distribution,
+    )
+    fallback_layers = [c for c in coverage if c.fallback]
+    degraded = bool(fallback_layers) or bool(unknown)
+    obs.inc("ingest.rejected", n_outliers)
+    obs.inc("ingest.fallback_layers", len(fallback_layers))
+    return CalibrationResult(
+        chain=Chain(
+            layers=layers,
+            input_activation=baseline.input_activation,
+            name=baseline.name,
+        ),
+        noise=noise,
+        coverage=coverage,
+        degraded=degraded,
+        unknown_layers=unknown,
+        n_records=traces.n_records,
+        n_quarantined=traces.n_quarantined,
+        min_samples=min_samples,
+        mad_k=mad_k,
+    )

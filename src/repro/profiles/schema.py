@@ -1,0 +1,200 @@
+"""Trace record schema: versioned, unit-checked, strictly validated.
+
+One trace record is one measurement of one layer in one profiling run —
+the row a layer-hook profiler emits per forward/backward pair.  Records
+travel as JSONL objects or CSV rows; both funnel through
+:func:`parse_record`, the single validation gate of the ingestion
+subsystem:
+
+* ``schema`` must equal :data:`SCHEMA_VERSION` (future formats bump it,
+  old readers reject instead of misparsing);
+* ``run`` is the profiling-run index (int ≥ 0), ``layer`` the layer name
+  matching the baseline chain;
+* ``u_f`` / ``u_b`` are the measured forward/backward durations in
+  ``time_unit`` (``s`` / ``ms`` / ``us`` — normalized to seconds here,
+  so everything downstream is single-unit);
+* ``weights`` / ``activation`` are optional byte sizes (a timing-only
+  trace is valid; the memory fields then fall back to the baseline);
+* NaN, infinity, negative values, wrong types, unknown units and
+  unknown keys are all rejected with a :class:`repro.profiling.
+  ProfileError` naming the source and field — the quarantine machinery
+  in :mod:`repro.profiles.ingest` catches exactly that.
+
+Validation is deliberately paranoid: measured traces are *untrusted
+input* (truncated writes, mis-unit'd exporters, editor mishaps), and a
+silently misparsed record would poison the calibration medians.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..profiling.io import ProfileError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TIME_UNITS",
+    "CSV_COLUMNS",
+    "TraceRecord",
+    "parse_record",
+    "record_from_csv_row",
+]
+
+#: The trace format version this reader understands.
+SCHEMA_VERSION = 1
+
+#: Accepted ``time_unit`` spellings and their factor to seconds.
+TIME_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6}
+
+#: Canonical CSV header (also the full set of accepted JSONL keys).
+CSV_COLUMNS = (
+    "schema",
+    "run",
+    "layer",
+    "u_f",
+    "u_b",
+    "weights",
+    "activation",
+    "time_unit",
+)
+
+_REQUIRED = ("schema", "run", "layer", "u_f", "u_b")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One validated per-layer measurement (durations in seconds)."""
+
+    run: int
+    layer: str
+    u_f: float
+    u_b: float
+    weights: float | None = None
+    activation: float | None = None
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (seconds; optional fields omitted)."""
+        out: dict = {
+            "schema": SCHEMA_VERSION,
+            "run": self.run,
+            "layer": self.layer,
+            "u_f": self.u_f,
+            "u_b": self.u_b,
+        }
+        if self.weights is not None:
+            out["weights"] = self.weights
+        if self.activation is not None:
+            out["activation"] = self.activation
+        return out
+
+
+def _number(obj: dict, key: str, source: str, *, unit: float = 1.0) -> float:
+    v = obj[key]
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        raise ProfileError(
+            f"must be a number, got {type(v).__name__}", source=source, field=key
+        )
+    if not math.isfinite(v):
+        raise ProfileError(f"non-finite value {v!r}", source=source, field=key)
+    if v < 0:
+        raise ProfileError(f"negative value {v!r}", source=source, field=key)
+    return float(v) * unit
+
+
+def parse_record(obj: object, *, source: str = "<record>") -> TraceRecord:
+    """Validate one raw record dict into a :class:`TraceRecord`.
+
+    Raises :class:`~repro.profiling.ProfileError` (a ``ValueError``, so
+    the JSONL quarantine machinery catches it) on anything malformed.
+    """
+    if not isinstance(obj, dict):
+        raise ProfileError(
+            f"trace record must be an object, got {type(obj).__name__}",
+            source=source,
+        )
+    missing = [k for k in _REQUIRED if k not in obj]
+    if missing:
+        raise ProfileError(f"missing fields {missing}", source=source)
+    unknown = sorted(set(obj) - set(CSV_COLUMNS))
+    if unknown:
+        raise ProfileError(f"unknown fields {unknown}", source=source)
+    schema = obj["schema"]
+    if isinstance(schema, bool) or schema != SCHEMA_VERSION:
+        raise ProfileError(
+            f"unsupported schema version {schema!r} "
+            f"(this reader understands {SCHEMA_VERSION})",
+            source=source,
+            field="schema",
+        )
+    run = obj["run"]
+    if isinstance(run, bool) or not isinstance(run, int) or run < 0:
+        raise ProfileError(
+            f"must be a non-negative integer, got {run!r}",
+            source=source,
+            field="run",
+        )
+    layer = obj["layer"]
+    if not isinstance(layer, str) or not layer:
+        raise ProfileError(
+            f"must be a non-empty string, got {layer!r}",
+            source=source,
+            field="layer",
+        )
+    unit_name = obj.get("time_unit", "s")
+    try:
+        unit = TIME_UNITS[unit_name]
+    except (KeyError, TypeError):
+        raise ProfileError(
+            f"unknown time unit {unit_name!r}; choose from "
+            f"{sorted(TIME_UNITS)}",
+            source=source,
+            field="time_unit",
+        ) from None
+    mem: dict[str, float | None] = {}
+    for key in ("weights", "activation"):
+        mem[key] = None if obj.get(key) is None else _number(obj, key, source)
+    return TraceRecord(
+        run=run,
+        layer=layer,
+        u_f=_number(obj, "u_f", source, unit=unit),
+        u_b=_number(obj, "u_b", source, unit=unit),
+        weights=mem["weights"],
+        activation=mem["activation"],
+    )
+
+
+def record_from_csv_row(row: dict, *, source: str = "<row>") -> TraceRecord:
+    """Parse one ``csv.DictReader`` row (all-string values) into a
+    :class:`TraceRecord` via :func:`parse_record`.
+
+    Empty cells mean "absent" (optional fields) and a short row — the
+    classic truncated-write corruption — surfaces as a missing-field
+    error, not a silent zero.
+    """
+    if row.get(None) is not None:
+        raise ProfileError(
+            f"row has {len(row[None])} extra cell(s) beyond the header",
+            source=source,
+        )
+    obj: dict = {}
+    for key, raw in row.items():
+        if raw is None or raw == "":
+            continue
+        if key in ("schema", "run"):
+            try:
+                obj[key] = int(raw)
+            except ValueError:
+                raise ProfileError(
+                    f"must be an integer, got {raw!r}", source=source, field=key
+                ) from None
+        elif key in ("u_f", "u_b", "weights", "activation"):
+            try:
+                obj[key] = float(raw)
+            except ValueError:
+                raise ProfileError(
+                    f"must be a number, got {raw!r}", source=source, field=key
+                ) from None
+        else:
+            obj[key] = raw
+    return parse_record(obj, source=source)

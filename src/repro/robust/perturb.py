@@ -268,11 +268,23 @@ def robustness_report(
 
     See :class:`RobustnessReport` for what comes back.  ``noise``
     defaults to :class:`repro.profiling.NoiseModel` (5% lognormal on
-    compute and activations).
+    compute and activations); a calibrated per-layer
+    :class:`repro.profiling.LayerNoiseModel` (fitted by
+    :func:`repro.profiles.calibrate`) flows through the same draw/apply
+    machinery unchanged, so observed-noise reports share seeds and
+    bisection with the assumed-noise ones.
     """
     if samples < 1:
         raise ValueError("need at least one sample")
     noise = noise or NoiseModel()
+    calibrated_for = getattr(noise, "n_layers", None)
+    if calibrated_for is not None and calibrated_for != chain.L:
+        # fail before burning samples: a calibrated model must never be
+        # stretched onto a chain it was not fitted for
+        raise ValueError(
+            f"noise model is calibrated for {calibrated_for} layer(s) "
+            f"but was applied to a chain with {chain.L}"
+        )
     with obs.span(
         "certify.robustness", samples=samples, seed=seed
     ) as sp:

@@ -35,6 +35,12 @@ site               where                                      actions
 ``serve_worker``   inside a plan-service worker, before       raise, exit, sleep
                    the solve, keyed by the request
                    fingerprint
+``ingest_file``    trace ingestion, once per trace file,      raise, exit, sleep
+                   keyed by the file path
+``ingest_record``  trace ingestion, per decoded record,       fail
+                   keyed by ``file:run:layer`` — ``fail``
+                   forces the record into the quarantine
+                   sidecar as if it had been corrupt
 =================  =========================================  ===================
 
 Actions ``raise`` (raise :class:`FaultInjected`), ``exit``

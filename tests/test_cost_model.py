@@ -1,5 +1,8 @@
 """Cost model and profile persistence tests."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.models import vgg16, linearize, random_chain
@@ -9,6 +12,9 @@ from repro.profiling import (
     RTX8000,
     V100,
     DeviceSpec,
+    LayerNoiseModel,
+    NoiseModel,
+    ProfileError,
     dumps_chain,
     load_chain,
     loads_chain,
@@ -104,3 +110,164 @@ class TestProfileIO:
         assert clone.name == chain.name
         for l in range(chain.L + 1):
             assert clone.activation(l) == chain.activation(l)
+
+
+class TestProfileErrors:
+    """Every load failure surfaces as one typed ProfileError naming the
+    source and field — never a raw KeyError/JSONDecodeError traceback."""
+
+    def good(self) -> dict:
+        return json.loads(dumps_chain(random_chain(3, seed=0)))
+
+    def test_malformed_json_names_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"layers": [')
+        with pytest.raises(ProfileError, match="broken.json.*invalid JSON"):
+            load_chain(path)
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_chain(tmp_path / "absent.json")
+
+    def test_missing_top_level_field(self):
+        data = self.good()
+        del data["input_activation"]
+        with pytest.raises(ProfileError, match="'input_activation'") as exc:
+            loads_chain(json.dumps(data))
+        assert exc.value.field == "input_activation"
+
+    def test_missing_layer_key(self):
+        data = self.good()
+        del data["layers"][1]["u_b"]
+        with pytest.raises(ProfileError, match=r"layers\[1\].*u_b"):
+            loads_chain(json.dumps(data))
+
+    def test_unknown_layer_key_rejected(self):
+        data = self.good()
+        data["layers"][0]["extra"] = 1
+        with pytest.raises(ProfileError, match=r"layers\[0\].*extra"):
+            loads_chain(json.dumps(data))
+
+    def test_nan_constant_rejected(self):
+        data = self.good()
+        data["layers"][0]["u_f"] = float("nan")
+        text = json.dumps(data)  # emits a bare NaN token
+        with pytest.raises(ProfileError, match="NaN"):
+            loads_chain(text)
+
+    def test_negative_duration_names_layer(self):
+        data = self.good()
+        data["layers"][2]["u_f"] = -0.5
+        with pytest.raises(ProfileError, match=r"layers\[2\].*negative"):
+            loads_chain(text := json.dumps(data))
+        # the same failure through a file names the file
+        with pytest.raises(ProfileError, match="bad.json"):
+            loads_chain(text, source="bad.json")
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ProfileError, match="layers"):
+            loads_chain('{"layers": [], "input_activation": 1.0}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProfileError, match="object"):
+            loads_chain("[1, 2, 3]")
+
+    def test_profile_error_is_value_error(self):
+        # existing `except ValueError` call sites must keep working
+        assert issubclass(ProfileError, ValueError)
+
+
+class TestNoiseModelEdgeCases:
+    def test_zero_sigma_exactly_deterministic(self):
+        chain = random_chain(5, seed=1)
+        noise = NoiseModel(sigma_compute=0.0, sigma_activation=0.0, sigma_weight=0.0)
+        draws = noise.draw(np.random.default_rng(0), 1, chain.L)
+        out = noise.apply(chain, draws[0])
+        for a, b in zip(out.layers, chain.layers):
+            assert (a.u_f, a.u_b, a.weights, a.activation) == (
+                b.u_f, b.u_b, b.weights, b.activation
+            )
+        assert out.input_activation == chain.input_activation
+
+    def test_scalar_sigma_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma_compute=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(sigma_compute=float("nan"))
+        with pytest.raises(ValueError):
+            NoiseModel(distribution="gaussian")
+
+
+class TestLayerNoiseModel:
+    def model(self, L=4) -> LayerNoiseModel:
+        return LayerNoiseModel(
+            sigma_compute=tuple(0.01 * (i + 1) for i in range(L)),
+            sigma_activation=tuple(0.02 * (i + 1) for i in range(L + 1)),
+            sigma_weight=(0.0,) * L,
+        )
+
+    def test_length_mismatches_rejected(self):
+        with pytest.raises(ValueError, match="sigma_weight"):
+            LayerNoiseModel(
+                sigma_compute=(0.1, 0.1),
+                sigma_activation=(0.1, 0.1, 0.1),
+                sigma_weight=(0.1,),
+            )
+        with pytest.raises(ValueError, match="sigma_activation"):
+            LayerNoiseModel(
+                sigma_compute=(0.1, 0.1),
+                sigma_activation=(0.1, 0.1),
+                sigma_weight=(0.1, 0.1),
+            )
+        with pytest.raises(ValueError, match="per-layer"):
+            LayerNoiseModel(
+                sigma_compute=0.1, sigma_activation=0.1, sigma_weight=0.1
+            )
+        with pytest.raises(ValueError, match="at least one layer"):
+            LayerNoiseModel(
+                sigma_compute=(), sigma_activation=(0.1,), sigma_weight=()
+            )
+
+    def test_wrong_chain_length_rejected(self):
+        chain = random_chain(6, seed=0)
+        noise = self.model(L=4)
+        draws = noise.draw(np.random.default_rng(0), 1, chain.L)
+        with pytest.raises(ValueError, match="calibrated for 4"):
+            noise.apply(chain, draws[0])
+
+    def test_same_seed_bit_reproducible(self):
+        chain = random_chain(4, seed=2)
+        noise = self.model(L=4)
+
+        def one():
+            rng = np.random.default_rng(42)
+            return noise.apply(chain, noise.draw(rng, 3, chain.L)[2])
+
+        a, b = one(), one()
+        for la, lb in zip(a.layers, b.layers):
+            assert (la.u_f, la.u_b, la.weights, la.activation) == (
+                lb.u_f, lb.u_b, lb.weights, lb.activation
+            )
+        assert a.input_activation == b.input_activation
+
+    def test_uniform_matches_scalar_bit_for_bit(self):
+        chain = random_chain(5, seed=3)
+        base = NoiseModel(sigma_compute=0.07, sigma_activation=0.03, sigma_weight=0.01)
+        per_layer = LayerNoiseModel.uniform(base, chain.L)
+        draws = base.draw(np.random.default_rng(7), 4, chain.L)
+        for i in range(4):
+            a = base.apply(chain, draws[i])
+            b = per_layer.apply(chain, draws[i])
+            for la, lb in zip(a.layers, b.layers):
+                assert (la.u_f, la.u_b, la.weights, la.activation) == (
+                    lb.u_f, lb.u_b, lb.weights, lb.activation
+                )
+            assert a.input_activation == b.input_activation
+
+    def test_to_from_dict_roundtrip(self):
+        noise = self.model()
+        clone = LayerNoiseModel.from_dict(noise.to_dict())
+        assert clone == noise
+        assert clone.to_dict()["per_layer"] is True
+        with pytest.raises(ValueError):
+            LayerNoiseModel.from_dict({"sigma_compute": [0.1]})

@@ -452,3 +452,56 @@ class TestServeCli:
         by_ok = {bool(r.get("ok")) for r in out[:-1]}
         assert by_ok == {True, False}
         assert sum(1 for r in out[:-1] if not r["ok"]) == 2
+        # both failures happened before the service: parse-stage errors
+        assert all(r["stage"] == "parse" for r in out[:-1] if not r["ok"])
+
+    def test_inline_chain_served(self, tmp_path, capsys):
+        from repro.models import uniform_chain
+
+        chain = uniform_chain(4, u_f=0.01, u_b=0.02, weights=1e6, activation=1e6)
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            json.dumps(
+                {"id": 9, "chain": chain.to_dict(), "procs": 2, "memory_gb": 8}
+            )
+            + "\n"
+        )
+        rc = cli_main(["serve", str(path), "--workers", "0", "--quiet"])
+        out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert rc == 0
+        (response,) = out[:-1]
+        assert response["ok"] and response["id"] == 9
+        assert response["period"] is not None
+
+    def test_malformed_inline_chain_structured_error(self, tmp_path, capsys):
+        # an inline profile failing Chain validation must come back as a
+        # structured per-line ok=false with the reason, at the parse
+        # stage — never as a generic serve.errors solve failure
+        bad = {
+            "name": "bad",
+            "input_activation": 1e6,
+            "layers": [
+                {"name": "l1", "u_f": -1.0, "u_b": 0.1,
+                 "weights": 1e6, "activation": 1e6},
+            ],
+        }
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            json.dumps({"id": 1, "chain": bad, "procs": 2, "memory_gb": 8})
+            + "\n"
+            + json.dumps({"id": 2, "chain": {"layers": []}, "procs": 2})
+            + "\n"
+        )
+        rc = cli_main(["serve", str(path), "--workers", "0", "--quiet"])
+        out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        stats = out[-1]["stats"]
+        assert rc == 1
+        for response in out[:-1]:
+            assert response["ok"] is False
+            assert response["stage"] == "parse"
+        by_id = {r["id"]: r for r in out[:-1]}
+        assert "negative duration" in by_id[1]["error"]
+        assert "input_activation" in by_id[2]["error"]
+        # the solver was never reached: no solve failures counted
+        assert "serve.errors" not in stats["counters"]
+        assert "serve.solves" not in stats["counters"]
