@@ -28,6 +28,10 @@ change.
   ``benchmarks/bench_ingest.py`` (measured-profile ingestion +
   calibration throughput on clean vs damaged traces, byte-identity
   asserted before reporting);
+* ``--suite zb`` → ``BENCH_zb.json`` via
+  ``benchmarks/bench_zero_bubble.py`` (certified zero-bubble B/W-split
+  periods vs 1F1B\\* on GPT-style chains under tight memory; a strict
+  certified win on at least one budget is asserted before reporting);
 * ``--suite all`` (default) → all of the above.
 
 Usage::
@@ -59,6 +63,7 @@ import bench_obs_overhead  # noqa: E402
 import bench_phase2_hotpath  # noqa: E402
 import bench_serve  # noqa: E402
 import bench_warm_sweep  # noqa: E402
+import bench_zero_bubble  # noqa: E402
 
 
 def _payload(smoke: bool, runs) -> dict:
@@ -191,6 +196,14 @@ def run_ingest(smoke: bool, out_dir: Path) -> None:
     print(f"wrote {out}\n")
 
 
+def run_zb(smoke: bool, out_dir: Path) -> None:
+    result = bench_zero_bubble.run_bench(smoke=smoke)
+    out = out_dir / "BENCH_zb.json"
+    out.write_text(json.dumps(_payload(smoke, result), indent=1) + "\n")
+    print(bench_zero_bubble.render(result))
+    print(f"wrote {out}\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -200,7 +213,10 @@ def main() -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("dp", "phase2", "obs", "certify", "warm", "serve", "ingest", "all"),
+        choices=(
+            "dp", "phase2", "obs", "certify", "warm", "serve", "ingest", "zb",
+            "all",
+        ),
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -224,6 +240,8 @@ def main() -> int:
         run_serve(args.smoke, out_dir)
     if args.suite in ("ingest", "all"):
         run_ingest(args.smoke, out_dir)
+    if args.suite in ("zb", "all"):
+        run_zb(args.smoke, out_dir)
     return 0
 
 

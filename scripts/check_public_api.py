@@ -72,6 +72,25 @@ def main() -> int:
     assert ws.kind is inspect.Parameter.KEYWORD_ONLY, "warm_start must be keyword-only"
     print("api.sweep(warm_start=True) surface pinned")
 
+    # the schedule-family surface: plan() takes a keyword-only
+    # schedule_family defaulting to "1f1b", both families are registered,
+    # and the op-kind registry is re-exported with its stable entries
+    sf = inspect.signature(api.plan).parameters.get("schedule_family")
+    assert sf is not None, "api.plan() lost its schedule_family parameter"
+    assert sf.default == "1f1b", f"schedule_family default changed: {sf.default!r}"
+    assert sf.kind is inspect.Parameter.KEYWORD_ONLY, "schedule_family must be keyword-only"
+    assert api.SCHEDULE_FAMILIES == ("1f1b", "zero_bubble"), (
+        f"SCHEDULE_FAMILIES changed: {api.SCHEDULE_FAMILIES!r}"
+    )
+    for kind in (api.F, api.B, api.W, api.CF, api.CB):
+        meta = api.OP_KINDS[kind]
+        assert meta.name == kind and meta.category in ("compute", "comm")
+        assert api.is_compute(kind) != api.is_comm(kind)
+    d_b, d_w = api.split_backward(2.0, fraction=0.5)
+    assert d_b == 1.0 and d_w == 1.0, "split_backward(2.0) must halve"
+    assert api.PLAN_SCHEMA_VERSION == 2, "plan schema version pin"
+    print("api.plan(schedule_family=...) + op-kind registry surface pinned")
+
     # 2. internal modules must not route through the deprecated shims
     chain = repro.uniform_chain(6)
     platform = repro.Platform.of(2, 8.0, 12.0)

@@ -61,6 +61,7 @@ def main() -> int:
         grid=getattr(Discretization, args.grid)(),
         iterations=args.iterations,
         ilp_time_limit=args.ilp_time_limit,
+        schedule_family=args.schedule_family,
         cache=cache,
         verbose=not args.quiet,
         n_workers=args.workers,

@@ -4,7 +4,7 @@ from .advisor import BatchAdvice, max_feasible_batch
 from .bruteforce import BruteForceResult, best_contiguous, best_special
 from .gpipe import GPipeResult, gpipe, gpipe_period
 from .hybrid import HybridResult, group_sizes, hybrid, scale_chain_for_group
-from .madpipe import MadPipeResult, madpipe
+from .madpipe import SCHEDULE_FAMILIES, MadPipeResult, madpipe
 from .madpipe_dp import (
     Algorithm1Result,
     Discretization,
@@ -15,6 +15,7 @@ from .madpipe_dp import (
 )
 from .onef1b import OneF1BResult, build_pattern, min_feasible_period
 from .pipedream import PipeDreamResult, pipedream, pipedream_partition
+from .zero_bubble import ZeroBubbleResult, build_pattern_zb, min_feasible_period_zb
 
 __all__ = [
     "BatchAdvice",
@@ -30,6 +31,7 @@ __all__ = [
     "gpipe",
     "gpipe_period",
     "MadPipeResult",
+    "SCHEDULE_FAMILIES",
     "madpipe",
     "Algorithm1Result",
     "Discretization",
@@ -43,4 +45,7 @@ __all__ = [
     "PipeDreamResult",
     "pipedream",
     "pipedream_partition",
+    "ZeroBubbleResult",
+    "build_pattern_zb",
+    "min_feasible_period_zb",
 ]

@@ -33,10 +33,17 @@ from ..ilp.solver import ILPScheduleResult, schedule_allocation
 from ..robust.certify import Certificate, certify_pattern
 from .madpipe_dp import Algorithm1Result, Discretization, algorithm1
 from .onef1b import min_feasible_period
+from .zero_bubble import min_feasible_period_zb
 
-__all__ = ["MadPipeResult", "madpipe"]
+__all__ = ["SCHEDULE_FAMILIES", "MadPipeResult", "madpipe"]
 
 INF = float("inf")
+
+#: Supported schedule families: classic monolithic-backward 1F1B and the
+#: zero-bubble B–W split.  The family selects phase 2's contiguous
+#: constructor and the MILP formulation; phase 1's partition search is
+#: family-agnostic.
+SCHEDULE_FAMILIES = ("1f1b", "zero_bubble")
 
 
 @dataclass
@@ -95,6 +102,7 @@ def madpipe(
     contiguous_fallback: bool = True,
     memory_headroom: float = 0.0,
     certify: bool = True,
+    schedule_family: str = "1f1b",
 ) -> MadPipeResult:
     """Run the complete MadPipe pipeline on one (chain, platform) instance.
 
@@ -105,8 +113,24 @@ def madpipe(
     discrete-event certification gate: a pattern that fails is
     quarantined — with its violation report on
     ``result.certificate.quarantined`` — and replaced by the certified
-    1F1B\\* contiguous fallback, never silently returned.
+    contiguous fallback, never silently returned.
+
+    ``schedule_family`` selects the pattern family phase 2 constructs and
+    certifies: ``"1f1b"`` (the paper's monolithic backward, default) or
+    ``"zero_bubble"`` (split-backward F/B/W patterns — the contiguous
+    builder and MILP formulation of
+    :mod:`repro.algorithms.zero_bubble` / :mod:`repro.ilp`).
     """
+    if schedule_family not in SCHEDULE_FAMILIES:
+        raise ValueError(
+            f"unknown schedule family {schedule_family!r}; "
+            f"expected one of {SCHEDULE_FAMILIES}"
+        )
+    search = (
+        min_feasible_period_zb
+        if schedule_family == "zero_bubble"
+        else min_feasible_period
+    )
     with obs.span(
         "madpipe", n_procs=platform.n_procs, chain=chain.name, L=chain.L
     ) as run_span:
@@ -124,9 +148,10 @@ def madpipe(
         if phase1.feasible:
             allocation = phase1.allocation.to_allocation(platform)
             if allocation.is_contiguous():
-                # 1F1B* is optimal for contiguous allocations — no ILP needed
+                # the contiguous construction (1F1B* / zero-bubble) is
+                # optimal for contiguous allocations — no ILP needed
                 with obs.span("madpipe.phase2", kind="onef1b"):
-                    sched = min_feasible_period(
+                    sched = search(
                         chain, platform, allocation.partitioning,
                         memory_headroom=memory_headroom,
                     )
@@ -143,6 +168,7 @@ def madpipe(
                         chain, platform, allocation,
                         time_limit=ilp_time_limit,
                         memory_headroom=memory_headroom,
+                        schedule_family=schedule_family,
                     )
                 result.ilp = ilp
                 if ilp.feasible:
@@ -164,7 +190,7 @@ def madpipe(
                         # reporting infeasible
                         obs.inc("madpipe.ilp_fallbacks")
                         with obs.span("madpipe.phase2", kind="onef1b_fallback"):
-                            sched = min_feasible_period(
+                            sched = search(
                                 chain, platform, allocation.partitioning,
                                 memory_headroom=memory_headroom,
                             )
@@ -197,7 +223,7 @@ def madpipe(
                 sched = None
                 if contig.feasible:
                     alloc = contig.allocation.to_allocation(platform)
-                    sched = min_feasible_period(
+                    sched = search(
                         chain, platform, alloc.partitioning,
                         memory_headroom=memory_headroom,
                     )
@@ -229,7 +255,8 @@ def madpipe(
         # contiguous fallback (never a silent invalid plan)
         if certify:
             _certification_gate(
-                chain, platform, result, memory_headroom, iterations, grid
+                chain, platform, result, memory_headroom, iterations, grid,
+                search=search,
             )
 
         run_span.set(
@@ -248,6 +275,8 @@ def _certification_gate(
     memory_headroom: float,
     iterations: int,
     grid: Discretization | None,
+    *,
+    search=min_feasible_period,
 ) -> None:
     """Certify ``result.pattern`` in place; quarantine + degrade on failure.
 
@@ -255,7 +284,9 @@ def _certification_gate(
     allocation's own contiguous restriction (only schedulable when it
     has at most one stage per GPU), then a fresh contiguous
     MadPipe-DP plan.  Each fallback pattern must itself pass
-    certification before it replaces the quarantined one.
+    certification before it replaces the quarantined one.  ``search`` is
+    the family's contiguous period search (1F1B\\* by default), so
+    fallbacks stay within the requested schedule family.
     """
     cert = certify_pattern(
         chain, platform, result.pattern, source=f"madpipe:{chain.name}"
@@ -299,7 +330,7 @@ def _certification_gate(
             continue
         tried.append(part)
         with obs.span("madpipe.phase2", kind="onef1b_quarantine_fallback"):
-            sched = min_feasible_period(
+            sched = search(
                 chain, platform, part, memory_headroom=memory_headroom
             )
         if sched is None:

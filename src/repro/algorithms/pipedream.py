@@ -108,10 +108,20 @@ def pipedream_partition(
     return Partitioning.from_cuts(L, cuts), float(best[s_opt][1])
 
 
-def pipedream(chain: Chain, platform: Platform) -> PipeDreamResult:
-    """Full baseline: PipeDream DP, then 1F1B\\* for a valid schedule."""
+def pipedream(
+    chain: Chain, platform: Platform, *, schedule_family: str = "1f1b"
+) -> PipeDreamResult:
+    """Full baseline: PipeDream DP, then the family's contiguous
+    construction (1F1B\\* by default) for a valid schedule."""
     partitioning, dp_period = pipedream_partition(chain, platform)
     if partitioning is None:
         return PipeDreamResult(None, INF, None)
-    schedule = min_feasible_period(chain, platform, partitioning)
+    if schedule_family == "zero_bubble":
+        from .zero_bubble import min_feasible_period_zb
+
+        schedule = min_feasible_period_zb(chain, platform, partitioning)
+    elif schedule_family == "1f1b":
+        schedule = min_feasible_period(chain, platform, partitioning)
+    else:
+        raise ValueError(f"unknown schedule family {schedule_family!r}")
     return PipeDreamResult(partitioning, dp_period, schedule)

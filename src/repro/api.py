@@ -45,10 +45,22 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from . import obs
 from .algorithms.gpipe import gpipe
-from .algorithms.madpipe import madpipe
+from .algorithms.madpipe import SCHEDULE_FAMILIES, madpipe
 from .algorithms.pipedream import pipedream
 from .core.chain import Chain
-from .core.pattern import PeriodicPattern
+from .core.pattern import (
+    B,
+    CB,
+    CF,
+    F,
+    OP_KINDS,
+    OpKind,
+    PeriodicPattern,
+    W,
+    is_comm,
+    is_compute,
+    split_backward,
+)
 from .core.platform import Platform
 from .core.serialize import pattern_from_dict, pattern_to_dict
 from .experiments.harness import ResultCache, RunResult, run_grid
@@ -59,26 +71,43 @@ from .testing import faults
 
 __all__ = [
     "ALGORITHMS",
+    "B",
+    "CB",
+    "CF",
     "CalibrationResult",
     "Certificate",
+    "F",
     "LayerNoiseModel",
     "NoiseModel",
+    "OP_KINDS",
+    "OpKind",
+    "PLAN_SCHEMA_VERSION",
     "PlanResult",
     "PlanService",
     "ProfileError",
     "RobustnessReport",
+    "SCHEDULE_FAMILIES",
     "SweepResult",
     "SweepSpec",
+    "W",
     "certify",
     "ingest",
+    "is_comm",
+    "is_compute",
     "load_chain",
     "plan",
     "serve",
+    "split_backward",
     "sweep",
 ]
 
 #: Algorithms :func:`plan` dispatches on.
 ALGORITHMS = ("madpipe", "pipedream", "gpipe")
+
+#: Current :meth:`PlanResult.to_json` schema.  Version 2 added
+#: ``schedule_family``; version-1 records (no family ⇒ ``"1f1b"``) are
+#: still accepted by :meth:`PlanResult.from_json` and the plan store.
+PLAN_SCHEMA_VERSION = 2
 
 INF = float("inf")
 
@@ -110,6 +139,7 @@ class PlanResult:
     metrics: dict[str, float] = field(default_factory=dict)
     trace: "obs.Trace | None" = None
     certificate: Certificate | None = None
+    schedule_family: str = "1f1b"
 
     @property
     def feasible(self) -> bool:
@@ -128,9 +158,14 @@ class PlanResult:
         convention), keeping the payload strict JSON.  This is the wire
         format of the plan server's cache and protocol
         (:mod:`repro.serve`).
+
+        Writes schema version ``2`` (adds ``schedule_family``);
+        :meth:`from_json` still accepts version-1 records, which predate
+        schedule families and always describe ``"1f1b"`` plans.
         """
         return {
-            "version": 1,
+            "version": PLAN_SCHEMA_VERSION,
+            "schedule_family": self.schedule_family,
             "algorithm": self.algorithm,
             "period": None if self.period == INF else self.period,
             "dp_period": None if self.dp_period == INF else self.dp_period,
@@ -154,6 +189,12 @@ class PlanResult:
             raise ValueError(
                 f"plan payload must be a JSON object, got {type(data).__name__}"
             )
+        version = data.get("version", 1)
+        if version not in (1, PLAN_SCHEMA_VERSION):
+            raise ValueError(
+                f"unsupported plan schema version {version!r}; "
+                f"this build reads versions 1..{PLAN_SCHEMA_VERSION}"
+            )
         missing = [k for k in ("algorithm", "status") if k not in data]
         if missing:
             raise ValueError(f"plan payload missing fields {missing}")
@@ -170,6 +211,8 @@ class PlanResult:
                 status=str(data["status"]),
                 raw=None,
                 certificate=None if cert is None else Certificate.from_dict(cert),
+                # v1 records predate schedule families: always 1f1b
+                schedule_family=str(data.get("schedule_family", "1f1b")),
             )
         except (KeyError, TypeError, AttributeError) as exc:
             raise ValueError(f"malformed plan payload: {exc!r}") from exc
@@ -180,10 +223,18 @@ def plan(
     platform: Platform,
     *,
     algorithm: str = "madpipe",
+    schedule_family: str = "1f1b",
     trace: "obs.Trace | bool | None" = None,
     **opts: Any,
 ) -> PlanResult:
     """Plan one (chain, platform) instance with the chosen algorithm.
+
+    ``schedule_family`` selects the pattern family the planner builds
+    and certifies: ``"1f1b"`` (the paper's monolithic backward, default)
+    or ``"zero_bubble"`` (split-backward F/B/W patterns; see the README's
+    *Schedule families* section).  GPipe has no periodic pattern, so it
+    accepts only the default family.  ``schedule_family="1f1b"`` is
+    bit-identical to omitting the argument.
 
     ``trace=True`` records a fresh :class:`repro.obs.Trace` onto the
     result; passing an existing ``Trace`` appends to it instead.  Extra
@@ -198,6 +249,11 @@ def plan(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
+    if schedule_family not in SCHEDULE_FAMILIES:
+        raise ValueError(
+            f"unknown schedule family {schedule_family!r}; "
+            f"expected one of {SCHEDULE_FAMILIES}"
+        )
     if trace is True:
         tr = obs.Trace(f"plan:{algorithm}")
     elif isinstance(trace, obs.Trace):  # note: an empty Trace is falsy
@@ -211,9 +267,9 @@ def plan(
     with obs.use_metrics(registry):
         if tr is not None:
             with obs.use_trace(tr):
-                result = _dispatch(chain, platform, algorithm, opts)
+                result = _dispatch(chain, platform, algorithm, schedule_family, opts)
         else:
-            result = _dispatch(chain, platform, algorithm, opts)
+            result = _dispatch(chain, platform, algorithm, schedule_family, opts)
     if outer is not None:
         outer.merge(registry.snapshot())
     result.metrics = registry.snapshot()
@@ -222,10 +278,10 @@ def plan(
 
 
 def _dispatch(
-    chain: Chain, platform: Platform, algorithm: str, opts: dict
+    chain: Chain, platform: Platform, algorithm: str, family: str, opts: dict
 ) -> PlanResult:
     if algorithm == "madpipe":
-        res = madpipe(chain, platform, **opts)
+        res = madpipe(chain, platform, schedule_family=family, **opts)
         return PlanResult(
             algorithm=algorithm,
             period=res.period,
@@ -234,10 +290,11 @@ def _dispatch(
             status=res.status,
             raw=res,
             certificate=res.certificate,
+            schedule_family=family,
         )
     do_certify = opts.pop("certify", True)
     if algorithm == "pipedream":
-        res = pipedream(chain, platform, **opts)
+        res = pipedream(chain, platform, schedule_family=family, **opts)
         out = PlanResult(
             algorithm=algorithm,
             period=res.period,
@@ -245,6 +302,7 @@ def _dispatch(
             pattern=res.schedule.pattern if res.schedule is not None else None,
             status="ok" if res.period != INF else "infeasible",
             raw=res,
+            schedule_family=family,
         )
         if do_certify:
             out.certificate = certify_pattern(
@@ -258,6 +316,11 @@ def _dispatch(
                 out.period = INF
                 out.status = "error"
         return out
+    if family != "1f1b":
+        raise ValueError(
+            f"algorithm 'gpipe' schedules fill-drain rounds, not periodic "
+            f"patterns; it does not support schedule_family={family!r}"
+        )
     res = gpipe(chain, platform, **opts)
     out = PlanResult(
         algorithm=algorithm,
@@ -489,8 +552,10 @@ def sweep(
     arguments pass straight to :func:`repro.experiments.run_grid`
     (``n_workers``, ``instance_timeout``, ``max_retries``,
     ``retry_failed``, ``on_exhausted``, ``iterations``, ``grid``,
-    ``ilp_time_limit``, ``verbose``); ``trace_path`` streams
-    per-instance span trees to a JSONL file.
+    ``ilp_time_limit``, ``schedule_family``, ``verbose``);
+    ``trace_path`` streams per-instance span trees to a JSONL file.
+    ``schedule_family`` is a solver option, not part of the cache
+    identity — keep one cache file per family.
 
     ``warm_start`` (default on) solves neighboring instances against the
     per-process warm-start database (:mod:`repro.warmstart`): results

@@ -30,7 +30,7 @@ from contextlib import ExitStack
 from pathlib import Path
 
 from . import obs
-from .algorithms import Discretization, madpipe, pipedream
+from .algorithms import SCHEDULE_FAMILIES, Discretization, madpipe, pipedream
 from .core.platform import Platform
 from .core.serialize import save_pattern
 from .experiments.scenarios import network_builders
@@ -113,7 +113,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         if trace is not None:
             stack.enter_context(obs.use_trace(trace))
         if args.algorithm == "pipedream":
-            res = pipedream(chain, platform)
+            res = pipedream(chain, platform, schedule_family=args.schedule_family)
             pattern = res.schedule.pattern if res.feasible else None
             mp = None
         else:
@@ -124,6 +124,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 iterations=args.iterations,
                 ilp_time_limit=args.ilp_time_limit,
                 memory_headroom=args.memory_headroom,
+                schedule_family=args.schedule_family,
             )
             pattern = mp.pattern
     if trace is not None:
@@ -403,6 +404,12 @@ def sweep_options() -> argparse.ArgumentParser:
         "per-process warm-start database (results are bit-identical "
         "either way; warm is faster on neighboring grids)",
     )
+    p.add_argument(
+        "--schedule-family", choices=SCHEDULE_FAMILIES, default="1f1b",
+        help="pattern family to build and certify (like --grid, a solver "
+        "option, not part of the result-cache identity: keep one --out "
+        "cache file per family)",
+    )
     return p
 
 
@@ -429,6 +436,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 iterations=args.iterations,
                 ilp_time_limit=args.ilp_time_limit,
                 cache=cache,
+                schedule_family=args.schedule_family,
                 verbose=not args.quiet,
                 n_workers=args.workers,
                 instance_timeout=args.instance_timeout,
@@ -537,11 +545,16 @@ async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
             obj, chain, platform = _parse_serve_request(line, lineno)
             rid = obj.get("id", lineno)
             stage = "solve"
+            opts = dict(obj.get("opts", {}))
+            # the CLI default family applies unless the request names one;
+            # the service strips the "1f1b" default from the fingerprint,
+            # so pre-family stores keep serving default requests
+            opts.setdefault("schedule_family", args.schedule_family)
             request = service.request(
                 chain,
                 platform,
                 algorithm=obj.get("algorithm", "madpipe"),
-                **obj.get("opts", {}),
+                **opts,
             )
             async with gate:
                 reply = await service.handle(request)
@@ -675,6 +688,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-b", "--bandwidth-gbps", type=float, default=12.0)
     p.add_argument(
         "-a", "--algorithm", choices=("madpipe", "pipedream"), default="madpipe"
+    )
+    p.add_argument(
+        "--schedule-family", choices=SCHEDULE_FAMILIES, default="1f1b",
+        help="pattern family to build and certify: classic 1F1B or the "
+        "zero-bubble B/W split",
     )
     p.add_argument(
         "--grid", choices=("coarse", "default", "paper"), default="default"
@@ -834,6 +852,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-warm-start", action="store_true",
         help="solve every request cold (responses are bit-identical either way)",
+    )
+    p.add_argument(
+        "--schedule-family", choices=SCHEDULE_FAMILIES, default="1f1b",
+        help="default pattern family for requests whose 'opts' do not name "
+        "one; the family is part of the request fingerprint, so cached "
+        "1F1B plans are never served for zero-bubble queries",
     )
     p.add_argument(
         "--emit-plans", action="store_true",

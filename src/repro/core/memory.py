@@ -45,14 +45,21 @@ def effective_capacity(memory: float, headroom: float = 0.0) -> float:
 
 @dataclass(frozen=True)
 class MemoryBreakdown:
-    """Per-component memory usage of a stage, in bytes."""
+    """Per-component memory usage of a stage, in bytes.
+
+    ``grad_buffers`` is the split-backward grad-input term (zero for the
+    classic monolithic-backward model, keeping totals bit-identical).
+    """
 
     weights: float
     activations: float
     buffers: float
+    grad_buffers: float = 0.0
 
     @property
     def total(self) -> float:
+        if self.grad_buffers:
+            return self.weights + self.activations + self.buffers + self.grad_buffers
         return self.weights + self.activations + self.buffers
 
 
@@ -64,6 +71,7 @@ def stage_memory_breakdown(
     *,
     in_buffer: bool | None = None,
     out_buffer: bool | None = None,
+    g_grad: int = 0,
 ) -> MemoryBreakdown:
     """Memory breakdown of stage ``k..l`` keeping ``g`` active batches.
 
@@ -74,11 +82,19 @@ def stage_memory_breakdown(
     stages of the special processor that are adjacent in the chain still
     exchange data through memory, but we keep the paper's conservative
     accounting and always charge buffers at internal boundaries).
+
+    ``g_grad`` is the split-backward term: the number of grad-input
+    buffers (each of size ``a_l``) held between a grad-input backward's
+    start and its grad-weight op's completion.  The weight-gradient
+    accumulator itself is already inside the ``3·W_i`` term, so splitting
+    the backward adds only this boundary-sized buffer.
     """
     if k > l:
         raise ValueError("empty stage")
     if g < 0:
         raise ValueError("negative active batch count")
+    if g_grad < 0:
+        raise ValueError("negative grad-buffer count")
     if in_buffer is None:
         in_buffer = k > 1
     if out_buffer is None:
@@ -90,7 +106,10 @@ def stage_memory_breakdown(
         buffers += 2.0 * chain.activation(k - 1)
     if out_buffer:
         buffers += 2.0 * chain.activation(l)
-    return MemoryBreakdown(weights=weights, activations=activations, buffers=buffers)
+    grad = g_grad * chain.activation(l) if g_grad else 0.0
+    return MemoryBreakdown(
+        weights=weights, activations=activations, buffers=buffers, grad_buffers=grad
+    )
 
 
 def stage_memory(
@@ -101,8 +120,9 @@ def stage_memory(
     *,
     in_buffer: bool | None = None,
     out_buffer: bool | None = None,
+    g_grad: int = 0,
 ) -> float:
     """Total ``M(k, l, g)`` in bytes (see :func:`stage_memory_breakdown`)."""
     return stage_memory_breakdown(
-        chain, k, l, g, in_buffer=in_buffer, out_buffer=out_buffer
+        chain, k, l, g, in_buffer=in_buffer, out_buffer=out_buffer, g_grad=g_grad
     ).total

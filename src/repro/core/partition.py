@@ -46,6 +46,13 @@ class Stage:
         """``ā_s = Σ_{i∈s} a_{i-1}`` (paper §4.3)."""
         return chain.stored_activations(self.start, self.end)
 
+    def grad_buffer(self, chain: Chain) -> float:
+        """``ĝ_s = a_end`` — the grad-input buffer a split backward holds
+        from its B start until its W completes (the gradient w.r.t. the
+        stage's output activation, same size as the boundary activation).
+        """
+        return chain.activation(self.end)
+
 
 @dataclass(frozen=True)
 class Partitioning:

@@ -27,10 +27,88 @@ from .partition import Allocation
 from .platform import Platform
 from .tolerances import CHECK_RTOL, EPS, memory_slack
 
-__all__ = ["Op", "PeriodicPattern", "PatternError", "gpu", "link", "EPS"]
+__all__ = [
+    "Op",
+    "OpKind",
+    "OP_KINDS",
+    "PeriodicPattern",
+    "PatternError",
+    "gpu",
+    "link",
+    "EPS",
+    "F",
+    "B",
+    "W",
+    "CF",
+    "CB",
+    "is_compute",
+    "is_comm",
+    "split_backward",
+]
 
-# Operation kinds: stage compute and boundary communications.
-F, B, CF, CB = "F", "B", "CF", "CB"
+# Operation kinds: stage compute and boundary communications.  ``W`` is
+# the grad-weight half of a split backward (zero-bubble families); in the
+# classic 1F1B model ``B`` is the whole backward and no ``W`` op exists.
+F, B, W, CF, CB = "F", "B", "W", "CF", "CB"
+
+
+@dataclass(frozen=True)
+class OpKind:
+    """Registry entry describing one operation kind.
+
+    ``category`` is ``"compute"`` (runs on a GPU, indexed by stage) or
+    ``"comm"`` (runs on a link, indexed by cut boundary).  ``glyph`` is
+    the single character used by the Gantt renderer.  New schedule
+    families extend the model by registering kinds here rather than
+    scattering string literals — the validator, simulator, MILP and
+    renderer all classify ops through this table.
+    """
+
+    name: str
+    category: str
+    glyph: str
+    description: str
+
+    @property
+    def is_compute(self) -> bool:
+        return self.category == "compute"
+
+    @property
+    def is_comm(self) -> bool:
+        return self.category == "comm"
+
+
+#: Central op-kind registry.  Keys are the wire/legacy string constants.
+OP_KINDS: dict[str, OpKind] = {
+    F: OpKind(F, "compute", "#", "forward pass of a stage"),
+    B: OpKind(B, "compute", "=", "backward (grad-input, or full backward)"),
+    W: OpKind(W, "compute", "~", "grad-weight half of a split backward"),
+    CF: OpKind(CF, "comm", "#", "activation transfer across a cut"),
+    CB: OpKind(CB, "comm", "=", "gradient transfer across a cut"),
+}
+
+
+def is_compute(kind: str) -> bool:
+    """True iff ``kind`` is a stage-compute op (runs on a GPU)."""
+    return OP_KINDS[kind].is_compute
+
+
+def is_comm(kind: str) -> bool:
+    """True iff ``kind`` is a boundary-communication op (runs on a link)."""
+    return OP_KINDS[kind].is_comm
+
+
+def split_backward(backward: float, fraction: float = 0.5) -> tuple[float, float]:
+    """Split a monolithic backward duration into ``(d_B, d_W)``.
+
+    ``d_B`` is the grad-input half (stays on the critical path), ``d_W``
+    the grad-weight half (has no downstream dependents except freeing the
+    grad-input buffer).  The two always sum exactly to ``backward``.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    d_b = fraction * backward
+    return d_b, backward - d_b
 
 
 def gpu(p: int) -> tuple:
@@ -51,9 +129,9 @@ class PatternError(ValueError):
 class Op:
     """One operation of a periodic pattern.
 
-    ``kind`` ∈ {"F", "B", "CF", "CB"}; ``index`` is the stage index for
-    compute ops and the boundary index ``i`` (the cut after stage ``i``)
-    for communication ops.
+    ``kind`` is a key of :data:`OP_KINDS`; ``index`` is the stage index
+    for compute ops and the boundary index ``i`` (the cut after stage
+    ``i``) for communication ops.
     """
 
     kind: str
@@ -123,7 +201,9 @@ class PeriodicPattern:
         """Same-batch dependency edges between op keys (Fig. 1 semantics,
         lifted to stages): ``F_i → (CF_i →) F_{i+1}``, ``F_N → B_N``,
         ``B_{i+1} → (CB_i →) B_i``, and ``F_i → B_i`` (a stage's backward
-        needs its own stored activations).
+        needs its own stored activations).  When a stage carries a split
+        backward, its grad-weight op adds ``B_i → W_i`` — ``W`` has no
+        downstream dependents, it only frees the grad-input buffer.
         """
         n = self.allocation.n_stages
         edges: list[tuple[tuple[str, int], tuple[str, int]]] = []
@@ -140,6 +220,8 @@ class PeriodicPattern:
                 edges.append(((B, i + 1), (B, i)))
         for i in range(n):
             edges.append(((F, i), (B, i)))
+            if (W, i) in self.ops:
+                edges.append(((B, i), (W, i)))
         return edges
 
     # -- validation -----------------------------------------------------------
@@ -158,6 +240,13 @@ class PeriodicPattern:
             for kind in (F, B):
                 if (kind, i) not in self.ops:
                     raise PatternError(f"missing op {kind}{i}")
+        # split-backward patterns are all-or-nothing: either every stage
+        # has a W op (zero-bubble family) or none does (classic 1F1B)
+        n_w = sum(1 for key in self.ops if key[0] == W)
+        if n_w and n_w != n:
+            raise PatternError(
+                f"split backward must cover every stage: {n_w} W ops for {n} stages"
+            )
         for i in range(n - 1):
             cut = alloc.procs[i] != alloc.procs[i + 1]
             for kind in (CF, CB):
@@ -171,7 +260,9 @@ class PeriodicPattern:
                 raise PatternError(f"{op} starts outside [0, {self.period})")
             if op.duration > self.period + tol:
                 raise PatternError(f"{op} is longer than the period")
-            if op.kind in (F, B):
+            if op.kind not in OP_KINDS:
+                raise PatternError(f"{op} has unregistered kind {op.kind!r}")
+            if is_compute(op.kind):
                 expected = gpu(alloc.procs[op.index])
             else:
                 expected = link(alloc.procs[op.index], alloc.procs[op.index + 1])
@@ -215,25 +306,49 @@ class PeriodicPattern:
         completed at absolute time ``kT + tau`` gives, for any large ``k``,
         ``floor((tau − t_F)/T) − floor((tau − t_B − d_B)/T) + (h_B − h_F)``
         — valid also when the backward wraps past the period boundary.
+
+        For a split-backward stage the stored activations are consumed by
+        the grad-weight op as well, so they are freed at ``W`` completion
+        instead of ``B`` completion.
         """
         T = self.period
         f = self.ops[(F, stage_idx)]
-        b = self.ops[(B, stage_idx)]
+        b = self.ops.get((W, stage_idx)) or self.ops[(B, stage_idx)]
         started = math.floor((tau - f.start + EPS) / T)
         freed = math.floor((tau - b.end + EPS) / T)
         return b.shift - f.shift + started - freed
+
+    def active_grad_batches(self, stage_idx: int, tau: float) -> int:
+        """Steady-state number of grad-input buffers stage ``stage_idx``
+        holds at in-period time ``tau``.
+
+        Only meaningful for split-backward stages: the buffer is
+        allocated when ``B`` starts and freed when ``W`` completes.
+        Returns 0 for stages without a ``W`` op.
+        """
+        if (W, stage_idx) not in self.ops:
+            return 0
+        T = self.period
+        b = self.ops[(B, stage_idx)]
+        w = self.ops[(W, stage_idx)]
+        started = math.floor((tau - b.start + EPS) / T)
+        freed = math.floor((tau - w.end + EPS) / T)
+        return w.shift - b.shift + started - freed
 
     def memory_peaks(self, chain: Chain) -> dict[int, float]:
         """Steady-state peak memory (bytes) per processor.
 
         Static terms (weights, communication buffers) follow the §3 model;
         the activation term is evaluated at every forward-start and
-        backward-end event of the period.
+        backward-end event of the period.  Split-backward stages add a
+        grad-input buffer held from B start to W completion, evaluated at
+        the B-start and W-end events as well.
         """
         alloc = self.allocation
         peaks: dict[int, float] = {}
         for p in alloc.procs_used():
             stage_idxs = alloc.stages_on_proc(p)
+            w_idxs = [i for i in stage_idxs if (W, i) in self.ops]
             static = 0.0
             for i in stage_idxs:
                 s = alloc.stages[i]
@@ -243,12 +358,20 @@ class PeriodicPattern:
             for i in stage_idxs:
                 events.add(self.ops[(F, i)].start % self.period)
                 events.add(self.ops[(B, i)].end % self.period)
+            for i in w_idxs:
+                events.add(self.ops[(B, i)].start % self.period)
+                events.add(self.ops[(W, i)].end % self.period)
             peak = 0.0
             for tau in events:
                 act = sum(
                     self.active_batches(i, tau) * alloc.stages[i].stored_activations(chain)
                     for i in stage_idxs
                 )
+                if w_idxs:
+                    act += sum(
+                        self.active_grad_batches(i, tau) * alloc.stages[i].grad_buffer(chain)
+                        for i in w_idxs
+                    )
                 peak = max(peak, static + act)
             peaks[p] = peak
         return peaks

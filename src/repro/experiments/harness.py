@@ -161,8 +161,15 @@ def run_instance(
     grid: Discretization | None = None,
     iterations: int = 10,
     ilp_time_limit: float = 60.0,
+    schedule_family: str = "1f1b",
 ) -> RunResult:
-    """Run one algorithm on one (chain, platform) instance."""
+    """Run one algorithm on one (chain, platform) instance.
+
+    ``schedule_family`` is a solver option like ``grid``/``iterations``:
+    it selects the pattern family (1F1B or zero-bubble B/W split) but is
+    not part of the instance's cache identity — sweeps of different
+    families belong in different cache files.
+    """
     t0 = time.perf_counter()
     status = "ok"
     failure: str | None = None
@@ -175,7 +182,7 @@ def run_instance(
         bandwidth_gbps=platform.bandwidth / GBPS,
     ) as inst_span:
         if algorithm == "pipedream":
-            res = pipedream(chain, platform)
+            res = pipedream(chain, platform, schedule_family=schedule_family)
             dp, valid = res.dp_period, res.period
             n_stages = res.partitioning.n_stages if res.feasible else 0
             if not res.feasible:
@@ -205,6 +212,7 @@ def run_instance(
                 grid=grid,
                 iterations=iterations,
                 ilp_time_limit=ilp_time_limit,
+                schedule_family=schedule_family,
             )
             dp, valid = res.dp_period, res.period
             n_stages = res.allocation.n_stages if res.allocation is not None else 0
@@ -272,6 +280,7 @@ def _run_spec(
     instance_timeout: float | None = None,
     observe: bool = False,
     warm_start: bool = False,
+    schedule_family: str = "1f1b",
 ):
     """Worker entry point: rebuild the (cached-per-process) chain from the
     network name and run one instance.  Must stay module-level picklable.
@@ -301,6 +310,7 @@ def _run_spec(
                 grid=grid,
                 iterations=iterations,
                 ilp_time_limit=ilp_time_limit,
+                schedule_family=schedule_family,
             )
 
     with warmstart.activate(warm_start):
@@ -343,6 +353,7 @@ def run_grid(
     grid: Discretization | None = None,
     iterations: int = 10,
     ilp_time_limit: float = 60.0,
+    schedule_family: str = "1f1b",
     cache: "ResultCache | None" = None,
     verbose: bool = False,
     n_workers: int = 1,
@@ -355,6 +366,11 @@ def run_grid(
     warm_start: bool = False,
 ) -> list[RunResult]:
     """Run a full scenario grid, replaying cached instances if available.
+
+    ``schedule_family`` selects the pattern family every instance builds
+    (1F1B or the zero-bubble B/W split).  Like ``grid``/``iterations``
+    it is a solver option, not part of the cache identity: sweeps of
+    different families must use different cache files.
 
     ``n_workers > 1`` dispatches uncached instances to a process pool;
     results come back in the same deterministic (network, P, β, M,
@@ -531,6 +547,7 @@ def run_grid(
                                 instance_timeout,
                                 observe,
                                 warm_start,
+                                schedule_family,
                             ): i
                             for i in batch
                         }
@@ -571,6 +588,7 @@ def run_grid(
                                     instance_timeout,
                                     observe,
                                     warm_start,
+                                    schedule_family,
                                 )
                             ),
                         )

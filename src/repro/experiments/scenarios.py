@@ -55,7 +55,26 @@ def paper_chain(
     deterministic, and buildable inside any sweep worker process.  They
     exist for resilience tests and CI smoke sweeps, not for paper
     figures.
+
+    Names of the form ``gpt<L>`` (e.g. ``gpt24``, ``gpt64``) build the
+    uniform GPT-style decoder chain of
+    :func:`repro.models.transformer.gpt_chain`: ``L`` identical profiled
+    transformer blocks — the deep homogeneous regime for comparing the
+    zero-bubble schedule family against 1F1B\\* at pipeline depths up to
+    32–64.
     """
+    if network.startswith("gpt"):
+        try:
+            L = int(network[3:] or "24")
+        except ValueError:
+            raise ValueError(
+                f"bad gpt network name {network!r}; use e.g. 'gpt24'"
+            ) from None
+        if not 1 <= L <= 256:
+            raise ValueError(f"gpt network depth must be in 1..256, got {L}")
+        from ..models import gpt_chain
+
+        return gpt_chain(L, name=network)
     if network.startswith("toy"):
         try:
             L = int(network[3:] or "8")

@@ -45,7 +45,7 @@ from scipy.optimize import Bounds, LinearConstraint
 from ..core.chain import Chain
 from ..core.memory import effective_capacity, stage_memory_breakdown
 from ..core.partition import Allocation
-from ..core.pattern import gpu, link
+from ..core.pattern import gpu, link, split_backward
 from ..core.platform import Platform
 from ..obs.metrics import inc as _metric_inc
 
@@ -76,14 +76,23 @@ class ScheduleMILP:
 
 
 def _operations(
-    chain: Chain, platform: Platform, allocation: Allocation
+    chain: Chain,
+    platform: Platform,
+    allocation: Allocation,
+    *,
+    schedule_family: str = "1f1b",
 ) -> tuple[list[OpKey], dict[OpKey, float], dict[OpKey, tuple]]:
     ops: list[OpKey] = []
     dur: dict[OpKey, float] = {}
     res: dict[OpKey, tuple] = {}
     stages, procs = allocation.stages, allocation.procs
     for i, s in enumerate(stages):
-        for kind, d in (("F", s.forward(chain)), ("B", s.backward(chain))):
+        if schedule_family == "zero_bubble":
+            d_b, d_w = split_backward(s.backward(chain))
+            stage_ops = (("F", s.forward(chain)), ("B", d_b), ("W", d_w))
+        else:
+            stage_ops = (("F", s.forward(chain)), ("B", s.backward(chain)))
+        for kind, d in stage_ops:
             key = (kind, i)
             ops.append(key)
             dur[key] = d
@@ -114,6 +123,8 @@ def _dependencies(allocation: Allocation, res: dict[OpKey, tuple]) -> list[tuple
             edges.append((("B", i + 1), ("B", i)))
     for i in range(n):
         edges.append((("F", i), ("B", i)))
+        if ("W", i) in res:
+            edges.append((("B", i), ("W", i)))
     return edges
 
 
@@ -227,6 +238,7 @@ def build_skeleton(
     *,
     max_shift: int | None = None,
     memory_headroom: float = 0.0,
+    schedule_family: str = "1f1b",
 ) -> MilpSkeleton:
     """Assemble the period-independent part of the MILP for ``allocation``.
 
@@ -235,8 +247,18 @@ def build_skeleton(
     ``memory_headroom`` derates every GPU's capacity in the memory rows
     (see :func:`repro.core.memory.effective_capacity`), so the solved
     schedule is guaranteed to leave that margin free.
+
+    ``schedule_family="zero_bubble"`` formulates the split-backward model:
+    every stage carries ``F``/``B``/``W`` ops with ``B → W`` dependency
+    rows, activations are freed by ``W`` instead of ``B``, memory events
+    are checked after ``B`` starts as well (that is where grad-input
+    buffers allocate), and the objective minimizes ``Σ (h_W − h_F)``.
     """
-    ops, dur, res = _operations(chain, platform, allocation)
+    if schedule_family not in ("1f1b", "zero_bubble"):
+        raise ValueError(f"unknown schedule family {schedule_family!r}")
+    ops, dur, res = _operations(
+        chain, platform, allocation, schedule_family=schedule_family
+    )
     n_ops = len(ops)
     if max_shift is None:
         max_shift = 2 * n_ops  # generous: depth never exceeds the op count
@@ -302,6 +324,7 @@ def build_skeleton(
         return y_index[(after, before)], -1.0, 1.0
 
     M = effective_capacity(platform.memory, memory_headroom)
+    split = schedule_family == "zero_bubble"
     mem_rows: list[int] = []
     mem_consts: list[float] = []
     static_checks: list[tuple[int, float]] = []
@@ -312,24 +335,46 @@ def build_skeleton(
             s = allocation.stages[i]
             bd = stage_memory_breakdown(chain, s.start, s.end, 0)
             static += bd.weights + bd.buffers
-        for s_i in stage_idxs:  # event: start of F_{s_i}
+
+        def add_event(event: OpKey, p: int = p, stage_idxs=stage_idxs, static=static) -> None:
             coeffs: dict[int, float] = {}
             const = static
             for s_j in stage_idxs:
+                # activations: allocated at F start, freed by B (1F1B) or
+                # W (split backward, which consumes them too)
+                free = ("W", s_j) if split else ("B", s_j)
                 abar = allocation.stages[s_j].stored_activations(chain)
-                if abar == 0.0:
-                    continue
-                coeffs[h_index[("B", s_j)]] = coeffs.get(h_index[("B", s_j)], 0.0) + abar
-                coeffs[h_index[("F", s_j)]] = coeffs.get(h_index[("F", s_j)], 0.0) - abar
-                if s_j == s_i:
-                    const += abar  # F_s itself has just started
-                else:
-                    var, coef, cst = order_var(("F", s_j), ("F", s_i))
-                    coeffs[var] = coeffs.get(var, 0.0) + abar * coef
-                    const += abar * cst
-                var, coef, cst = order_var(("B", s_j), ("F", s_i))
-                coeffs[var] = coeffs.get(var, 0.0) - abar * coef
-                const -= abar * cst
+                if abar != 0.0:
+                    coeffs[h_index[free]] = coeffs.get(h_index[free], 0.0) + abar
+                    coeffs[h_index[("F", s_j)]] = coeffs.get(h_index[("F", s_j)], 0.0) - abar
+                    if ("F", s_j) == event:
+                        const += abar  # the event op itself has just started
+                    else:
+                        var, coef, cst = order_var(("F", s_j), event)
+                        coeffs[var] = coeffs.get(var, 0.0) + abar * coef
+                        const += abar * cst
+                    var, coef, cst = order_var(free, event)
+                    coeffs[var] = coeffs.get(var, 0.0) - abar * coef
+                    const -= abar * cst
+                if split:
+                    # grad-input buffers: allocated at B start, freed at W
+                    ghat = allocation.stages[s_j].grad_buffer(chain)
+                    if ghat != 0.0:
+                        coeffs[h_index[("W", s_j)]] = (
+                            coeffs.get(h_index[("W", s_j)], 0.0) + ghat
+                        )
+                        coeffs[h_index[("B", s_j)]] = (
+                            coeffs.get(h_index[("B", s_j)], 0.0) - ghat
+                        )
+                        if ("B", s_j) == event:
+                            const += ghat
+                        else:
+                            var, coef, cst = order_var(("B", s_j), event)
+                            coeffs[var] = coeffs.get(var, 0.0) + ghat * coef
+                            const += ghat * cst
+                        var, coef, cst = order_var(("W", s_j), event)
+                        coeffs[var] = coeffs.get(var, 0.0) - ghat * coef
+                        const -= ghat * cst
             if coeffs:
                 mem_rows.append(len(rows))
                 mem_consts.append(const)
@@ -340,6 +385,11 @@ def build_skeleton(
                     raise ValueError(
                         f"static memory {const:.3g} exceeds capacity on GPU {p}"
                     )
+
+        for s_i in stage_idxs:  # events: F starts, plus B starts when split
+            add_event(("F", s_i))
+            if split:
+                add_event(("B", s_i))
 
     # assemble the T-independent matrix; T-scaled slots stay zero here
     a_const = np.zeros((len(rows), n_vars))
@@ -365,7 +415,8 @@ def build_skeleton(
 
     c = np.zeros(n_vars)
     for i in range(allocation.n_stages):
-        c[h_index[("B", i)]] += 1.0
+        free = ("W", i) if split else ("B", i)
+        c[h_index[free]] += 1.0
         c[h_index[("F", i)]] -= 1.0
 
     return MilpSkeleton(
@@ -403,13 +454,14 @@ def build_milp(
     max_shift: int | None = None,
     skeleton: MilpSkeleton | None = None,
     memory_headroom: float = 0.0,
+    schedule_family: str = "1f1b",
 ) -> ScheduleMILP:
     """Assemble the MILP for scheduling ``allocation`` with period ``T``.
 
     Pass a cached ``skeleton`` (from :func:`build_skeleton`) to skip the
     period-independent work; the result is identical either way.
-    ``memory_headroom`` only matters when no skeleton is supplied (a
-    cached skeleton already has its capacity baked in).
+    ``memory_headroom`` and ``schedule_family`` only matter when no
+    skeleton is supplied (a cached skeleton already has them baked in).
     """
     if period <= 0:
         raise ValueError("period must be positive")
@@ -417,6 +469,7 @@ def build_milp(
         skeleton = build_skeleton(
             chain, platform, allocation,
             max_shift=max_shift, memory_headroom=memory_headroom,
+            schedule_family=schedule_family,
         )
     _metric_inc("ilp.model_builds")
     return skeleton.instantiate(period)

@@ -224,6 +224,7 @@ def solve_fixed_period(
     time_limit: float = 60.0,
     skeleton: MilpSkeleton | None = None,
     memory_headroom: float = 0.0,
+    schedule_family: str = "1f1b",
 ) -> PeriodicPattern | None:
     """Feasibility MILP at a fixed period; returns a pattern or ``None``.
 
@@ -235,6 +236,7 @@ def solve_fixed_period(
         model = build_milp(
             chain, platform, allocation, period,
             skeleton=skeleton, memory_headroom=memory_headroom,
+            schedule_family=schedule_family,
         )
     except ValueError:
         return None  # static memory alone exceeds capacity
@@ -339,6 +341,7 @@ def schedule_allocation(
     time_limit: float = 60.0,
     reuse_skeleton: bool = True,
     memory_headroom: float = 0.0,
+    schedule_family: str = "1f1b",
 ) -> ILPScheduleResult:
     """Smallest-period valid pattern for ``allocation``.
 
@@ -348,7 +351,9 @@ def schedule_allocation(
     scratch (same probes, same answer — kept for the equivalence test).
     ``memory_headroom`` derates the capacity of the MILP's memory rows
     (and the 1F1B\\* bracketing hint), so the schedule leaves the
-    requested per-GPU margin.
+    requested per-GPU margin.  ``schedule_family="zero_bubble"``
+    formulates split-backward (F/B/W) models instead; the bracketing
+    hint then comes from the zero-bubble contiguous construction.
 
     Instrumented: the whole search runs under an ``ilp.search`` span,
     each MILP probe/LP jump emits its own span with build/solve
@@ -369,6 +374,7 @@ def schedule_allocation(
             time_limit,
             reuse_skeleton,
             memory_headroom,
+            schedule_family,
             search_span,
         )
     obs.inc("ilp.searches")
@@ -392,6 +398,7 @@ def _schedule_allocation(
     time_limit: float,
     reuse_skeleton: bool,
     memory_headroom: float,
+    schedule_family: str,
     search_span,
 ) -> ILPScheduleResult:
     """The uninstrumented period search; see :func:`schedule_allocation`."""
@@ -436,6 +443,10 @@ def _schedule_allocation(
             platform.bandwidth,
             memory_headroom,
         )
+        if schedule_family != "1f1b":
+            # family-tagged keys never collide with classic entries (the
+            # tuple lengths differ), and classic keys stay unchanged
+            warm_key = warm_key + (schedule_family,)
         hit = warm.skeletons.hit(warm_key)
         if hit is not None:
             tmpl, tmpl_cap = hit
@@ -453,7 +464,8 @@ def _schedule_allocation(
         try:
             with obs.span("ilp.build_skeleton", n_stages=allocation.n_stages):
                 skeleton = build_skeleton(
-                    chain, platform, allocation, memory_headroom=memory_headroom
+                    chain, platform, allocation, memory_headroom=memory_headroom,
+                    schedule_family=schedule_family,
                 )
             obs.inc("ilp.skeleton_builds")
         except ValueError:
@@ -540,6 +552,7 @@ def _schedule_allocation(
             model = build_milp(
                 chain, platform, allocation, T,
                 skeleton=probe_skeleton, memory_headroom=memory_headroom,
+                schedule_family=schedule_family,
             )
             t1 = time.perf_counter()
             pattern, x, probe_status = _solve_model(
@@ -579,16 +592,25 @@ def _schedule_allocation(
     if probe(lower, jump=False, feasibility_only=False):
         return result(lower, state["pattern"])
 
-    # 2. bracket a feasible upper bound: 1F1B* hint, then an accelerating
+    # 2. bracket a feasible upper bound: a contiguous-construction hint
+    #    (1F1B* or zero-bubble, matching the family), then an accelerating
     #    gallop from the lower bound, capped by the sequential period
     ladder: list[float] = []
     if allocation.n_stages <= platform.n_procs:
-        from ..algorithms.onef1b import min_feasible_period
+        if schedule_family == "zero_bubble":
+            from ..algorithms.zero_bubble import min_feasible_period_zb
 
-        star = min_feasible_period(
-            chain, platform, allocation.partitioning,
-            build=False, memory_headroom=memory_headroom,
-        )
+            star = min_feasible_period_zb(
+                chain, platform, allocation.partitioning,
+                build=False, memory_headroom=memory_headroom,
+            )
+        else:
+            from ..algorithms.onef1b import min_feasible_period
+
+            star = min_feasible_period(
+                chain, platform, allocation.partitioning,
+                build=False, memory_headroom=memory_headroom,
+            )
         if star is not None and lower < star.period < seq:
             ladder.append(star.period)
     step = GALLOP_FACTOR

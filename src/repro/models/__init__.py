@@ -7,7 +7,7 @@ from .linearize import coarsen, linearize
 from .mobilenet import mobilenet_v1
 from .resnet import resnet, resnet50, resnet101
 from .synthetic import generate_traces, random_chain, uniform_chain
-from .transformer import transformer_encoder
+from .transformer import gpt_chain, transformer_encoder
 from .unet import unet
 from .vgg import vgg16
 
@@ -23,6 +23,7 @@ __all__ = [
     "densenet121",
     "vgg16",
     "mobilenet_v1",
+    "gpt_chain",
     "transformer_encoder",
     "unet",
     "random_chain",

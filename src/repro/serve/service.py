@@ -180,8 +180,19 @@ class PlanService:
         **opts: Any,
     ) -> PlanRequest:
         """Build a :class:`PlanRequest` with :func:`repro.api.plan`'s
-        keyword conventions."""
-        return PlanRequest(chain, platform, algorithm, dict(opts))
+        keyword conventions.
+
+        ``schedule_family="1f1b"`` (the default family) is stripped from
+        the fingerprinted options so that pre-family stores keep serving:
+        a default-family request is the *same* request it was before
+        schedule families existed.  Non-default families stay in the
+        options, so a cached 1F1B plan is never served for a zero-bubble
+        query (and vice versa).
+        """
+        opts = dict(opts)
+        if opts.get("schedule_family") == "1f1b":
+            del opts["schedule_family"]
+        return PlanRequest(chain, platform, algorithm, opts)
 
     # -- serving ------------------------------------------------------------
 

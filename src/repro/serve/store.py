@@ -13,6 +13,12 @@ deterministic (no timings, no per-call metrics), strict JSON (infinite
 periods encode as ``null``), validated on load by round-tripping through
 :meth:`repro.api.PlanResult.from_json` so a damaged record quarantines
 instead of propagating garbage to clients.
+
+Schema migration: new records are written at plan schema version 2
+(``schedule_family`` added); version-1 records from older stores still
+load — ``from_json`` reads them as ``"1f1b"`` plans — and are *not*
+rewritten in place, so a store shared with an older build stays usable
+by both.
 """
 
 from __future__ import annotations

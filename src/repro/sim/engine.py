@@ -145,7 +145,10 @@ def simulate(
                     f"{v.start:.6f} < {u.end:.6f}"
                 )
 
-    peak, timeline = _memory_trace(chain, alloc, executions, horizon, tol)
+    w_stages = frozenset(i for (kind, i) in pattern.ops if kind == "W")
+    peak, timeline = _memory_trace(
+        chain, alloc, executions, horizon, tol, w_stages=w_stages
+    )
     cap = platform.memory + memory_slack(platform.memory, tol)
     for p, m in peak.items():
         if m > cap:
@@ -174,10 +177,17 @@ def _memory_trace(
     executions: list[Execution],
     horizon: float,
     tol: float = CHECK_RTOL,
+    *,
+    w_stages: frozenset[int] = frozenset(),
 ) -> tuple[dict[int, float], dict[int, list[tuple[float, float]]]]:
     """Per-GPU memory as a step function: static (weights + buffers) plus
     one stored-activation set per batch between its forward start and its
     backward end.
+
+    Stages in ``w_stages`` use the split-backward model: the stored
+    activations stay live until the grad-weight op completes (``W`` needs
+    them too), and a grad-input buffer of the boundary activation size is
+    held from ``B`` start to ``W`` end.
 
     The finite window under-counts the steady state near ``t = 0`` (the
     infinite schedule's past is missing), so peaks are representative of
@@ -195,14 +205,22 @@ def _memory_trace(
 
     events: dict[int, list[tuple[float, float]]] = {p: [] for p in static}
     for e in executions:
-        if e.kind not in ("F", "B"):
+        if e.kind not in ("F", "B", "W"):
             continue
         p = alloc.procs[e.index]
         abar = alloc.stages[e.index].stored_activations(chain)
         if e.kind == "F":
             events[p].append((e.start, abar))
-        else:
+        elif e.kind == "B":
+            if e.index in w_stages:
+                # split backward: B allocates the grad-input buffer; the
+                # stored activations survive until W completes
+                events[p].append((e.start, alloc.stages[e.index].grad_buffer(chain)))
+            else:
+                events[p].append((e.end, -abar))
+        else:  # W: frees the activations and the grad-input buffer
             events[p].append((e.end, -abar))
+            events[p].append((e.end, -alloc.stages[e.index].grad_buffer(chain)))
 
     # Two events closer than the tolerance are simultaneous; frees apply
     # before allocations (a backward that ends exactly when the next

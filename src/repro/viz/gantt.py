@@ -2,12 +2,14 @@
 
 One line per resource; each operation is drawn over one period with its
 index shift in brackets, e.g. ``F2[0]`` / ``B2[1]``.  Wrapping operations
-are split at the period boundary.
+are split at the period boundary.  Fill glyphs come from the op-kind
+registry (:data:`repro.core.pattern.OP_KINDS`), so new kinds — e.g. the
+zero-bubble grad-weight ``W`` ops — render without touching this module.
 """
 
 from __future__ import annotations
 
-from ..core.pattern import PeriodicPattern
+from ..core.pattern import OP_KINDS, PeriodicPattern
 
 __all__ = ["render_gantt"]
 
@@ -24,8 +26,10 @@ def render_gantt(pattern: PeriodicPattern, *, width: int = 100) -> str:
     scale = width / T
 
     rows: dict[tuple, list] = {}
+    kinds_drawn: set[str] = set()
     for op in pattern.ops.values():
         rows.setdefault(op.resource, []).append(op)
+        kinds_drawn.add(op.kind)
 
     def order_key(resource: tuple) -> tuple:
         return (0 if resource[0] == "gpu" else 1,) + resource[1:]
@@ -38,14 +42,18 @@ def render_gantt(pattern: PeriodicPattern, *, width: int = 100) -> str:
             a = int(op.start * scale)
             b = max(a + 1, int(op.end * scale))
             for pos in range(a, min(b, 2 * width)):
-                canvas[pos % width] = "#" if op.kind in ("F", "CF") else "="
+                canvas[pos % width] = OP_KINDS[op.kind].glyph
             # place the label at the op start if it fits
             for j, ch in enumerate(label):
                 pos = (a + j) % width
                 if a + j < b or canvas[pos] != " ":
                     canvas[pos] = ch
         lines.append(f"{_resource_label(resource):>10s} |{''.join(canvas)}|")
-    lines.append(
-        f"{'':>10s}  {'#'}=forward  {'='}=backward  [h]=index shift"
-    )
+    # legend: one entry per distinct glyph actually drawn, registry order
+    seen: dict[str, str] = {}
+    for kind, meta in OP_KINDS.items():
+        if kind in kinds_drawn and meta.glyph not in seen:
+            seen[meta.glyph] = meta.description.split()[0]
+    legend = "  ".join(f"{glyph}={desc}" for glyph, desc in seen.items())
+    lines.append(f"{'':>10s}  {legend}  [h]=index shift")
     return "\n".join(lines)

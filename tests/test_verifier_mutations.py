@@ -97,3 +97,79 @@ class TestVerifierMutations:
         mutant = mutate(pattern, {("F", 0): dict(resource=other)})
         with pytest.raises(PatternError):
             verify_pattern(chain, platform, mutant)
+
+
+@pytest.fixture
+def zb_planned(uniform8, roomy4):
+    """A certified-valid zero-bubble (chain, platform, pattern) triple."""
+    res = pipedream(uniform8, roomy4, schedule_family="zero_bubble")
+    assert res.feasible and res.schedule is not None
+    pattern = res.schedule.pattern
+    assert any(k[0] == "W" for k in pattern.ops), "need split backwards"
+    return uniform8, roomy4, pattern
+
+
+class TestSplitBackwardMutations:
+    """The verifier must police the W half of a split backward as strictly
+    as the classic op kinds: W ops can't silently vanish, run before their
+    grad-input half, or overfill a GPU through the grad-input buffer."""
+
+    def test_unmutated_zb_pattern_passes(self, zb_planned):
+        chain, platform, pattern = zb_planned
+        report = verify_pattern(chain, platform, pattern)
+        assert not report.violations
+
+    def test_dropped_w_rejected(self, zb_planned):
+        """Split backwards are all-or-nothing: a planner that loses one
+        stage's grad-weight op never trains that stage's weights."""
+        chain, platform, pattern = zb_planned
+        key = next(k for k in pattern.ops if k[0] == "W")
+        ops = {k: v for k, v in pattern.ops.items() if k != key}
+        mutant = PeriodicPattern(
+            allocation=pattern.allocation, period=pattern.period, ops=ops
+        )
+        with pytest.raises(PatternError, match="every stage"):
+            verify_pattern(chain, platform, mutant)
+
+    def test_w_before_b_rejected(self, zb_planned):
+        """W consumes B's grad-input buffer; starting it at B's own start
+        violates the B_i -> W_i dependency (and overlaps the GPU)."""
+        chain, platform, pattern = zb_planned
+        key = next(k for k in pattern.ops if k[0] == "W")
+        b = pattern.ops[("B", key[1])]
+        mutant = mutate(pattern, {key: dict(start=b.start, shift=b.shift)})
+        with pytest.raises(PatternError):
+            verify_pattern(chain, platform, mutant)
+
+    def test_grad_buffer_overfill_rejected(self, zb_planned):
+        """The capacity check must count the grad-input buffer held from
+        B start to W completion: a budget that only fits the pattern when
+        that buffer is ignored has to be rejected."""
+        chain, platform, pattern = zb_planned
+        peaks = pattern.memory_peaks(chain)
+        proc, peak = max(peaks.items(), key=lambda kv: kv[1])
+        ghat = min(
+            pattern.allocation.stages[i].grad_buffer(chain)
+            for i in pattern.allocation.stages_on_proc(proc)
+            if ("W", i) in pattern.ops
+        )
+        assert ghat > 0
+
+        # without grad-buffer accounting this budget would look feasible
+        nograd = mutate(pattern, {})
+        nograd.active_grad_batches = lambda stage_idx, tau: 0
+        peak_nograd = max(nograd.memory_peaks(chain).values())
+        capacity = peak - 0.5 * ghat
+        assert peak_nograd <= capacity < peak
+
+        tight = Platform(
+            n_procs=platform.n_procs, memory=capacity, bandwidth=platform.bandwidth
+        )
+        with pytest.raises(PatternError, match="memory"):
+            pattern.check_memory(chain, tight)
+
+        # ...and just above the true peak the same pattern verifies clean
+        roomy = Platform(
+            n_procs=platform.n_procs, memory=1.001 * peak, bandwidth=platform.bandwidth
+        )
+        verify_pattern(chain, roomy, pattern)
