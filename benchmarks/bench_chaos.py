@@ -1,0 +1,417 @@
+"""Seeded chaos soak: the plan service under overload and failure.
+
+``repro.testing.ChaosSchedule.standard`` composes the repo's fault
+sites into one storm — cache warmup, an admission-overflow burst, a
+solve-failure storm that trips a circuit breaker, a latency spike that
+burns per-request deadline budgets, (with a worker pool) hard worker
+kills, a torn store write, and a post-cooldown recovery — and this
+driver replays it against a real :class:`repro.serve.PlanService`
+(admission ``1×2``, breaker threshold 3, degraded fallback on, fake
+clock + seeded RNG installed).
+
+**Invariants before any number is reported:**
+
+1. every non-degraded reply is bit-identical (``PlanResult.to_json``)
+   to a cold :func:`repro.api.plan` solve of the same request;
+2. every degraded reply is feasible and carries an ``ok`` certificate;
+3. shed + served (incl. degraded) accounts for every request issued —
+   no reply lost, no unexplained error;
+4. after the faults clear, the first fresh full-quality solve arrives
+   within ``n_warm + 1`` recovery requests (the warmup replays plus
+   one probe), and the half-open breaker closes;
+5. the persistent store holds no degraded payload, every record
+   matches its cold reference, and the torn write was quarantined.
+
+The emitted record is split into a ``summary`` that is *deterministic
+by construction* — phase outcomes, ``serve.*`` counters, breaker
+states, invariant verdicts; no wall-clock anywhere — and a ``timing``
+section with the walls.  CI runs the smoke twice and byte-compares the
+summaries; ``scripts/bench_report.py`` emits ``BENCH_chaos.json``.
+
+The measurement core is importable; run under pytest for smoke mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from pathlib import Path
+
+from repro import api, warmstart
+from repro.algorithms import Discretization
+from repro.core.platform import Platform
+from repro.experiments.scenarios import paper_chain
+from repro.testing import ChaosPhase, ChaosRequest, ChaosSchedule, faults
+
+N_WARM = 6
+SCALE = 3
+WORKERS = 1
+POOL_KILL = True
+ITERATIONS = 6
+SEED = 0
+BREAKER_THRESHOLD = 3
+BREAKER_COOLDOWN_S = 60.0
+PROCS = 2
+BANDWIDTH_GBPS = 12.0
+
+SMOKE = dict(
+    n_warm=4,
+    scale=1,
+    workers=0,  # inline thread mode: no pool startup in CI smoke
+    pool_kill=False,  # an exit fault inline would kill the CI process
+    iterations=4,
+)
+
+#: Deterministic counters worth publishing; everything timing-flavoured
+#: (latencies, runtime metrics merged from solvers) stays out of the
+#: byte-compared summary.
+_SUMMARY_COUNTERS = (
+    "serve.requests", "serve.solves", "serve.hits", "serve.hits_memory",
+    "serve.hits_store", "serve.coalesced", "serve.retries", "serve.errors",
+    "serve.shed", "serve.queued", "serve.queue_hwm",
+    "serve.breaker_trips", "serve.breaker_probes", "serve.breaker_closes",
+    "serve.breaker_short_circuits", "serve.deadline_exhausted",
+    "serve.degraded", "serve.degraded_solves", "serve.degraded_hits",
+    "serve.pool_restarts", "serve.pool_exhausted",
+)
+
+_TOY_SIZES = (3, 4, 5, 6, 7, 8, 9, 10)
+
+
+class _FakeClock:
+    """The schedule's monotonic clock: advances only when told to."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+def _spec(i: int) -> tuple[str, float]:
+    """Deterministic request-spec pool: (network, memory_gb), unique per
+    index for every pool size a standard schedule can ask for."""
+    return (
+        f"toy{_TOY_SIZES[i % len(_TOY_SIZES)]}",
+        8.0 + 4.0 * (i // len(_TOY_SIZES)),
+    )
+
+
+def _request(service, cfg, req: ChaosRequest):
+    network, memory_gb = _spec(req.spec)
+    return service.request(
+        paper_chain(network),
+        Platform.of(PROCS, memory_gb, BANDWIDTH_GBPS),
+        priority=req.priority,
+        deadline_s=req.deadline_s,
+        grid=Discretization.coarse(),
+        iterations=cfg["iterations"],
+        schedule_family=req.family,
+    )
+
+
+def _cold_reference(cfg, spec: int, family: str) -> dict:
+    network, memory_gb = _spec(spec)
+    with warmstart.activate(False):
+        result = api.plan(
+            paper_chain(network),
+            Platform.of(PROCS, memory_gb, BANDWIDTH_GBPS),
+            grid=Discretization.coarse(),
+            iterations=cfg["iterations"],
+            schedule_family=family,
+        )
+    return result.to_json()
+
+
+def _service_with_clock(cfg, store: Path, clock: _FakeClock):
+    from repro.serve import PlanService, ResilienceConfig
+
+    return PlanService(
+        store=store,
+        max_workers=cfg["workers"],
+        instance_timeout=10.0,
+        max_retries=cfg["max_retries"],
+        retry_backoff_s=0.02,
+        seed=cfg["seed"],
+        clock=clock.now,
+        resilience=ResilienceConfig(
+            max_concurrency=1,
+            max_pending=2,
+            degraded_fallback=True,
+            degraded_timeout_s=30.0,
+            breaker_threshold=BREAKER_THRESHOLD,
+            breaker_cooldown_s=BREAKER_COOLDOWN_S,
+        ),
+    )
+
+
+async def _soak(cfg, schedule: ChaosSchedule, store: Path, state: Path):
+    """Replay the schedule; returns (per-phase outcomes, final stats)."""
+    clock = _FakeClock()
+    service = _service_with_clock(cfg, store, clock)
+    phases: list[tuple[ChaosPhase, list[tuple]]] = []
+    counters: dict[str, float] = {}
+
+    def absorb(svc) -> None:
+        # counters survive service restarts: accumulate every incarnation
+        for name, value in svc.registry.snapshot().items():
+            counters[name] = counters.get(name, 0) + value
+
+    async def one(req: ChaosRequest) -> tuple:
+        try:
+            reply = await service.handle(_request(service, cfg, req))
+        except api.OverloadedError as exc:
+            return ("shed", req, exc.retry_after_s)
+        except Exception as exc:  # noqa: BLE001 - accounted, then asserted 0
+            return ("error", req, f"{type(exc).__name__}: {exc}")
+        return ("reply", req, reply)
+
+    try:
+        for phase in schedule:
+            if phase.faults:
+                # one counter dir per phase: fault call counts must not
+                # bleed between phases that reuse a rule index
+                faults.install(list(phase.faults), state / phase.name)
+            else:
+                faults.clear()
+            clock.t += phase.clock_advance_s
+            if phase.restart_service:
+                absorb(service)
+                await service.close()
+                service = _service_with_clock(cfg, store, clock)
+            if phase.burst:
+                outcomes = list(await asyncio.gather(
+                    *(one(req) for req in phase.requests)
+                ))
+            else:
+                outcomes = [await one(req) for req in phase.requests]
+            phases.append((phase, outcomes))
+        stats = service.stats()
+        absorb(service)
+        stats["counters"] = counters
+    finally:
+        faults.clear()
+        await service.close()
+    return phases, stats
+
+
+def _check_store(cfg, store: Path, fingerprints: dict) -> dict:
+    """Reopen the store cold: quarantine must have caught the torn line,
+    no degraded payload may be persisted, every record must match its
+    cold reference."""
+    from repro.serve import PlanStore
+
+    reopened = PlanStore(store)
+    degraded_in_store = 0
+    mismatched = 0
+    for fingerprint in list(reopened._data):
+        plan = reopened.get_plan(fingerprint)
+        if plan.get("status") == "degraded":
+            degraded_in_store += 1
+        ref = fingerprints.get(fingerprint)
+        if ref is not None and plan != ref:
+            mismatched += 1
+    quarantine = store.with_name(store.name + ".quarantine")
+    return {
+        "records": len(reopened._data),
+        "degraded_in_store": degraded_in_store,
+        "mismatched": mismatched,
+        "quarantined": quarantine.exists(),
+    }
+
+
+def run_soak(
+    *,
+    smoke: bool = False,
+    seed: int | None = None,
+    scale: int | None = None,
+    workers: int | None = None,
+) -> dict:
+    """The chaos soak measurement; returns a JSON-ready result dict with
+    a deterministic ``summary`` and a wall-clock ``timing`` section."""
+    cfg = dict(
+        n_warm=N_WARM,
+        scale=SCALE,
+        workers=WORKERS,
+        pool_kill=POOL_KILL,
+        iterations=ITERATIONS,
+        max_retries=3,
+        seed=SEED,
+    )
+    if smoke:
+        cfg.update(SMOKE)
+    for key, override in (("seed", seed), ("scale", scale), ("workers", workers)):
+        if override is not None:
+            cfg[key] = override
+    if cfg["workers"] == 0:
+        cfg["pool_kill"] = False  # an inline exit fault kills the driver
+
+    warmstart.reset_process_context()
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "plans.jsonl"
+        schedule = ChaosSchedule.standard(
+            cfg["seed"],
+            n_warm=cfg["n_warm"],
+            scale=cfg["scale"],
+            pool_kill=cfg["pool_kill"],
+            breaker_cooldown_s=BREAKER_COOLDOWN_S,
+            store_path=str(store),
+        )
+        phases, stats = asyncio.run(
+            _soak(cfg, schedule, store, Path(tmp) / "fault-state")
+        )
+        soak_s = time.perf_counter() - t0
+
+        # ---- invariants --------------------------------------------------
+        references: dict[tuple[int, str], dict] = {}
+
+        def reference(req: ChaosRequest) -> dict:
+            key = (req.spec, req.family)
+            if key not in references:
+                references[key] = _cold_reference(cfg, req.spec, req.family)
+            return references[key]
+
+        bit_identical = True
+        degraded_certified = True
+        errors = 0
+        shed = 0
+        served = 0
+        degraded = 0
+        fingerprints: dict[str, dict] = {}
+        phase_summaries = []
+        recovery_requests = None
+        recovered = 0
+        for phase, outcomes in phases:
+            counts: dict[str, int] = {}
+            for position, outcome in enumerate(outcomes, 1):
+                kind, req, value = outcome
+                if kind == "shed":
+                    shed += 1
+                    counts["shed"] = counts.get("shed", 0) + 1
+                    continue
+                if kind == "error":
+                    errors += 1
+                    counts["error"] = counts.get("error", 0) + 1
+                    continue
+                reply = value
+                served += 1
+                counts[reply.served_from] = counts.get(reply.served_from, 0) + 1
+                if reply.served_from == "degraded":
+                    degraded += 1
+                    result = reply.result
+                    if not (
+                        result.status == "degraded"
+                        and result.feasible
+                        and result.certificate is not None
+                        and result.certificate.ok
+                    ):
+                        degraded_certified = False
+                else:
+                    ref = reference(req)
+                    if reply.result.to_json() != ref:
+                        bit_identical = False
+                    fingerprints[reply.fingerprint] = ref
+                if phase.name == "recovery":
+                    if reply.served_from == "solve":
+                        recovered += 1
+                        if recovery_requests is None:
+                            recovery_requests = position
+            phase_summaries.append({
+                "name": phase.name,
+                "n_requests": len(phase.requests),
+                "outcomes": dict(sorted(counts.items())),
+            })
+        store_report = _check_store(cfg, store, fingerprints)
+
+    total = schedule.total_requests
+    accounted = (shed + served == total) and errors == 0
+    recovery_bound = cfg["n_warm"] + 1
+    recovery_bounded = (
+        recovery_requests is not None and recovery_requests <= recovery_bound
+    )
+    counters = stats["counters"]
+    store_clean = (
+        store_report["degraded_in_store"] == 0
+        and store_report["mismatched"] == 0
+        and store_report["quarantined"]
+    )
+    summary = {
+        "seed": cfg["seed"],
+        "scale": cfg["scale"],
+        "workers": cfg["workers"],
+        "pool_kill": cfg["pool_kill"],
+        "n_warm": cfg["n_warm"],
+        "total_requests": total,
+        "phases": phase_summaries,
+        "shed": shed,
+        "served": served,
+        "degraded": degraded,
+        "errors": errors,
+        "recovery_requests": recovery_requests,
+        "recovery_bound": recovery_bound,
+        "recovered": recovered,
+        "breakers": stats["breakers"],
+        "counters": {
+            name: int(counters[name])
+            for name in _SUMMARY_COUNTERS
+            if name in counters
+        },
+        "store": store_report,
+        "invariants": {
+            "bit_identical": bit_identical,
+            "degraded_certified": degraded_certified,
+            "accounted": accounted,
+            "recovery_bounded": recovery_bounded,
+            "store_clean": store_clean,
+        },
+    }
+    if not all(summary["invariants"].values()):
+        raise AssertionError(f"chaos invariants violated: {summary['invariants']}")
+    return {
+        "summary": summary,
+        "timing": {
+            "soak_s": soak_s,
+            "requests_per_s": total / soak_s if soak_s > 0 else float("inf"),
+        },
+    }
+
+
+def render(result: dict) -> str:
+    s = result["summary"]
+    inv = " ".join(
+        f"{name}={'ok' if passed else 'FAIL'}"
+        for name, passed in s["invariants"].items()
+    )
+    phases = " → ".join(
+        f"{p['name']}[{' '.join(f'{k}:{v}' for k, v in p['outcomes'].items())}]"
+        for p in s["phases"]
+    )
+    return (
+        f"{s['total_requests']} requests (seed {s['seed']}, scale {s['scale']}, "
+        f"workers {s['workers']}): {s['served']} served "
+        f"({s['degraded']} degraded), {s['shed']} shed, {s['errors']} errors\n"
+        f"{phases}\n"
+        f"recovery after {s['recovery_requests']} request(s) "
+        f"(bound {s['recovery_bound']}) | breakers {s['breakers']}\n"
+        f"invariants: {inv} | soak {result['timing']['soak_s']:.2f}s"
+    )
+
+
+def test_chaos_smoke():
+    """Two same-seed smoke soaks: every invariant holds and the
+    deterministic summaries are identical byte for byte."""
+    import json
+
+    first = run_soak(smoke=True)
+    second = run_soak(smoke=True)
+    assert all(first["summary"]["invariants"].values())
+    assert first["summary"]["shed"] >= 1
+    assert first["summary"]["degraded"] >= 1
+    assert first["summary"]["recovered"] >= 1
+    assert json.dumps(first["summary"], sort_keys=True) == json.dumps(
+        second["summary"], sort_keys=True
+    )
+    print()
+    print(render(first))

@@ -32,6 +32,11 @@ change.
   ``benchmarks/bench_zero_bubble.py`` (certified zero-bubble B/W-split
   periods vs 1F1B\\* on GPT-style chains under tight memory; a strict
   certified win on at least one budget is asserted before reporting);
+* ``--suite chaos`` → ``BENCH_chaos.json`` via
+  ``benchmarks/bench_chaos.py`` (seeded overload/failure soak of the
+  plan service; all resilience invariants — bit-identity, certified
+  degraded answers, full accounting, bounded recovery, clean store —
+  are asserted before reporting);
 * ``--suite all`` (default) → all of the above.
 
 Usage::
@@ -57,6 +62,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import bench_certify  # noqa: E402
+import bench_chaos  # noqa: E402
 import bench_dp_hotpath  # noqa: E402
 import bench_ingest  # noqa: E402
 import bench_obs_overhead  # noqa: E402
@@ -204,6 +210,14 @@ def run_zb(smoke: bool, out_dir: Path) -> None:
     print(f"wrote {out}\n")
 
 
+def run_chaos(smoke: bool, out_dir: Path) -> None:
+    result = bench_chaos.run_soak(smoke=smoke)
+    out = out_dir / "BENCH_chaos.json"
+    out.write_text(json.dumps(_payload(smoke, result), indent=1) + "\n")
+    print(bench_chaos.render(result))
+    print(f"wrote {out}\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -215,7 +229,7 @@ def main() -> int:
         "--suite",
         choices=(
             "dp", "phase2", "obs", "certify", "warm", "serve", "ingest", "zb",
-            "all",
+            "chaos", "all",
         ),
         default="all",
         help="which benchmark suite(s) to run",
@@ -242,6 +256,8 @@ def main() -> int:
         run_ingest(args.smoke, out_dir)
     if args.suite in ("zb", "all"):
         run_zb(args.smoke, out_dir)
+    if args.suite in ("chaos", "all"):
+        run_chaos(args.smoke, out_dir)
     return 0
 
 

@@ -19,7 +19,11 @@ Checks, in order:
 6. the serving surface is pinned: ``repro.api.serve`` constructs a
    ``PlanService``, a served plan round-trips through
    ``PlanResult.to_json()``/``from_json()`` and matches a direct
-   ``api.plan`` call bit for bit.
+   ``api.plan`` call bit for bit;
+7. the resilience surface is pinned: the typed overload errors are
+   exported, ``ResilienceConfig()`` defaults disable every mechanism,
+   ``serve()`` accepts the resilience knobs, and a degraded reply is
+   an explicit ``status="degraded"`` with a real certificate.
 
 Exit code 0 on success; any failure raises and exits non-zero.
 
@@ -144,6 +148,52 @@ def main() -> int:
         "served plan differs from direct api.plan"
     )
     print("serve ok: served plan bit-identical to api.plan, JSON round-trips")
+
+    # 7. the resilience surface: typed errors exported, the default
+    # config disables every mechanism (PR 7 behaviour preserved), and a
+    # degraded answer is explicit and certified
+    for name in ("OverloadedError", "CircuitOpenError",
+                 "DeadlineExceededError", "PoolExhaustedError",
+                 "ResilienceConfig"):
+        assert name in api.__all__, f"api.__all__ lost {name}"
+    for exc in (api.OverloadedError, api.CircuitOpenError,
+                api.DeadlineExceededError, api.PoolExhaustedError):
+        assert issubclass(exc, RuntimeError), f"{exc.__name__} not a RuntimeError"
+    assert api.OverloadedError("x", retry_after_s=2.0).retry_after_s == 2.0
+    default_cfg = api.ResilienceConfig()
+    assert not default_cfg.admission_enabled and not default_cfg.breaker_enabled
+    assert not default_cfg.degraded_fallback
+    for knob in ("resilience", "seed", "backoff_cap_s", "max_pool_restarts"):
+        assert knob in inspect.signature(api.serve).parameters, (
+            f"api.serve() lost its {knob} parameter"
+        )
+
+    async def _degraded():
+        from repro.testing import Fault, faults
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            faults.install(
+                [Fault(site="serve_solve", action="raise", times=-1)], tmp
+            )
+            try:
+                async with api.serve(
+                    max_workers=0, max_retries=0,
+                    resilience=api.ResilienceConfig(degraded_fallback=True),
+                ) as service:
+                    return await service.handle(service.request(
+                        chain, platform, iterations=2,
+                        grid=repro.Discretization.coarse(),
+                    ))
+            finally:
+                faults.clear()
+
+    degraded = asyncio.run(_degraded())
+    assert degraded.served_from == "degraded" and degraded.degraded
+    assert degraded.result.status == "degraded"
+    assert degraded.result.certificate is not None
+    assert degraded.result.certificate.ok, "degraded reply lacks ok certificate"
+    print("resilience ok: typed errors, inert defaults, certified degraded reply")
 
     # 3. deprecated names warn exactly once, then resolve silently
     for name in sorted(deprecated):

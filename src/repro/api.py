@@ -79,12 +79,17 @@ __all__ = [
     "F",
     "LayerNoiseModel",
     "NoiseModel",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "OP_KINDS",
     "OpKind",
+    "OverloadedError",
     "PLAN_SCHEMA_VERSION",
     "PlanResult",
     "PlanService",
+    "PoolExhaustedError",
     "ProfileError",
+    "ResilienceConfig",
     "RobustnessReport",
     "SCHEDULE_FAMILIES",
     "SweepResult",
@@ -610,7 +615,11 @@ def serve(
     instance_timeout: float | None = None,
     max_retries: int = 2,
     retry_backoff_s: float = 0.5,
+    backoff_cap_s: float = 30.0,
+    max_pool_restarts: int = 8,
     warm_start: bool = True,
+    seed: int = 0,
+    resilience: "ResilienceConfig | None" = None,
 ) -> "PlanService":
     """Build a long-lived planning service (see :mod:`repro.serve`).
 
@@ -623,6 +632,17 @@ def serve(
     the warm-start context active inside workers.  Served plans are
     bit-identical — in the :meth:`PlanResult.to_json` sense — to direct
     cold :func:`plan` calls.
+
+    Retry backoff is capped at ``backoff_cap_s`` and jittered from the
+    service's seeded RNG (``seed``), so fault-injected replays are
+    bit-reproducible; a pool that dies more than ``max_pool_restarts``
+    consecutive times stops rebuilding and the request surfaces
+    :class:`~repro.serve.PoolExhaustedError`.  ``resilience``
+    (a :class:`~repro.serve.ResilienceConfig`) switches on admission
+    control with load shedding (:class:`~repro.serve.OverloadedError`),
+    per-(algorithm, schedule_family) circuit breakers, and degraded-mode
+    planning — certified contiguous-fallback answers marked
+    ``served_from="degraded"`` that never enter the primary cache.
 
     Usage::
 
@@ -640,10 +660,21 @@ def serve(
         instance_timeout=instance_timeout,
         max_retries=max_retries,
         retry_backoff_s=retry_backoff_s,
+        backoff_cap_s=backoff_cap_s,
+        max_pool_restarts=max_pool_restarts,
         warm_start=warm_start,
+        seed=seed,
+        resilience=resilience,
     )
 
 
 # placed last: repro.serve pulls the harness/obs layers in but never this
-# module at import time, so the facade can re-export its service class
-from .serve import PlanService  # noqa: E402  (import cycle guard)
+# module at import time, so the facade can re-export its service surface
+from .serve import (  # noqa: E402  (import cycle guard)
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    PlanService,
+    PoolExhaustedError,
+    ResilienceConfig,
+)

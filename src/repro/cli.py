@@ -518,10 +518,38 @@ def _parse_serve_request(line: str, lineno: int) -> "tuple[dict, object, Platfor
     return obj, chain, platform
 
 
+def _serve_resilience(args: argparse.Namespace):
+    """Build the :class:`ResilienceConfig` for ``repro serve`` flags, or
+    ``None`` when every resilience flag is at its off default."""
+    from .api import ResilienceConfig
+
+    if (
+        args.max_concurrency is None
+        and args.deadline_budget is None
+        and args.breaker_threshold is None
+        and not args.degraded
+    ):
+        return None
+    return ResilienceConfig(
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending,
+        deadline_budget_s=args.deadline_budget,
+        degraded_fallback=args.degraded,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+
+
 async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
     """Drive the JSONL request replay against one :class:`PlanService`."""
     import asyncio
 
+    from .api import (
+        CircuitOpenError,
+        DeadlineExceededError,
+        OverloadedError,
+        PoolExhaustedError,
+    )
     from .api import serve as make_service
 
     service = make_service(
@@ -530,15 +558,18 @@ async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
         instance_timeout=args.instance_timeout,
         max_retries=args.max_retries,
         warm_start=not args.no_warm_start,
+        seed=args.seed,
+        resilience=_serve_resilience(args),
     )
     gate = asyncio.Semaphore(max(1, args.concurrency))
     failures = 0
+    shed = 0
 
     def emit(payload: dict) -> None:
         print(json.dumps(payload, sort_keys=True), flush=True)
 
     async def one(lineno: int, line: str) -> None:
-        nonlocal failures
+        nonlocal failures, shed
         rid = None
         stage = "parse"
         try:
@@ -554,12 +585,29 @@ async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
                 chain,
                 platform,
                 algorithm=obj.get("algorithm", "madpipe"),
+                priority=obj.get("priority", "interactive"),
+                deadline_s=obj.get("deadline_s"),
                 **opts,
             )
             async with gate:
                 reply = await service.handle(request)
+        except OverloadedError as exc:
+            # shedding is the service doing its job, not a failure: the
+            # reply is structured and carries the retry-after hint
+            shed += 1
+            emit({
+                "id": rid, "ok": False, "stage": "admission",
+                "error": str(exc), "retry_after_s": exc.retry_after_s,
+            })
+            return
         except Exception as exc:  # one bad request must not kill the loop
             failures += 1
+            if isinstance(exc, CircuitOpenError):
+                stage = "breaker"
+            elif isinstance(exc, DeadlineExceededError):
+                stage = "deadline"
+            elif isinstance(exc, PoolExhaustedError):
+                stage = "pool"
             if rid is None:  # parse failed before the id was read: best effort
                 try:
                     peek = json.loads(line)
@@ -594,7 +642,8 @@ async def _serve_loop(args: argparse.Namespace, lines: list[str]) -> int:
             f"{int(c.get('serve.solves', 0))} solved, "
             f"{int(c.get('serve.hits', 0))} cache hit(s), "
             f"{int(c.get('serve.coalesced', 0))} coalesced, "
-            f"{failures} failed",
+            f"{int(c.get('serve.degraded', 0))} degraded, "
+            f"{shed} shed, {failures} failed",
             file=sys.stderr,
         )
     return 0 if failures == 0 else 1
@@ -858,6 +907,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="default pattern family for requests whose 'opts' do not name "
         "one; the family is part of the request fingerprint, so cached "
         "1F1B plans are never served for zero-bubble queries",
+    )
+    p.add_argument(
+        "--max-concurrency", type=int, default=None, metavar="N",
+        help="enable admission control: at most N solves run at once, "
+        "--max-pending more queue (priority-ordered), the rest are shed "
+        'with an {"ok": false, "stage": "admission"} reply carrying a '
+        "retry_after_s hint",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=16, metavar="N",
+        help="admission queue depth before shedding (with --max-concurrency)",
+    )
+    p.add_argument(
+        "--deadline-budget", type=float, default=None, metavar="S",
+        help="default per-request wall-clock budget including queue wait; "
+        "a request's own 'deadline_s' field overrides it",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="enable per-(algorithm, schedule_family) circuit breakers "
+        "tripping after N consecutive solve failures",
+    )
+    p.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="S",
+        help="breaker cooldown before a half-open probe (seed-jittered)",
+    )
+    p.add_argument(
+        "--degraded", action="store_true",
+        help="answer budget-exhausted / breaker-open / failed requests with "
+        "the certified contiguous fallback plan (served_from=degraded) "
+        "instead of an error; degraded plans never enter the store",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for retry jitter and breaker probe scheduling "
+        "(bit-reproducible replays)",
     )
     p.add_argument(
         "--emit-plans", action="store_true",

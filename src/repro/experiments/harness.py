@@ -51,6 +51,7 @@ import math
 import os
 import random
 import signal
+import sys
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -247,29 +248,89 @@ def _spec_key(spec: tuple) -> str:
 def _deadline(seconds: float | None, spec: tuple):
     """Enforce a wall-clock deadline inside the current (worker) process.
 
-    Uses ``SIGALRM``, so it interrupts even a HiGHS solve stuck inside C
-    code between Python byte codes.  Silently a no-op where signals
-    cannot be armed (non-POSIX, non-main thread).
+    On the POSIX main thread this uses ``SIGALRM``, so it interrupts even
+    a HiGHS solve stuck inside C code between Python byte codes.  Off the
+    main thread (the plan service's ``max_workers=0`` inline mode solves
+    on the event loop's thread pool) a watchdog thread arms instead and
+    delivers :class:`InstanceTimeoutError` asynchronously — that fires
+    only between byte codes, so it cannot cut short a wedged C call, but
+    it bounds every pure-Python solve instead of silently doing nothing.
     """
     if not seconds or seconds <= 0:
         yield
         return
-    if os.name != "posix" or threading.current_thread() is not threading.main_thread():
-        yield
+    if os.name == "posix" and threading.current_thread() is threading.main_thread():
+
+        def _alarm(signum, frame):
+            raise InstanceTimeoutError(
+                f"instance {spec!r} exceeded its {seconds:g}s deadline"
+            )
+
+        old_handler = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
         return
 
-    def _alarm(signum, frame):
-        raise InstanceTimeoutError(
-            f"instance {spec!r} exceeded its {seconds:g}s deadline"
-        )
+    with _thread_deadline(seconds, spec):
+        yield
 
-    old_handler = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+
+@contextmanager
+def _thread_deadline(seconds: float, spec: tuple):
+    """Wall-clock deadline for non-main-thread callers.
+
+    A watchdog thread waits ``seconds``; if the protected block is still
+    running it schedules :class:`InstanceTimeoutError` in the target
+    thread via ``PyThreadState_SetAsyncExc`` (the same mechanism behind
+    ``KeyboardInterrupt`` delivery).  The exit path runs under a lock so
+    the watchdog can never fire into code *after* the block; a pending
+    async exception that did not surface in time is cancelled.
+    """
+    import ctypes
+
+    tid = threading.get_ident()
+    cancel = threading.Event()
+    lock = threading.Lock()
+    fired = False
+
+    def _watchdog() -> None:
+        nonlocal fired
+        if cancel.wait(seconds):
+            return
+        with lock:
+            if cancel.is_set():
+                return
+            fired = True
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(tid), ctypes.py_object(InstanceTimeoutError)
+            )
+
+    watchdog = threading.Thread(
+        target=_watchdog, name="repro-deadline", daemon=True
+    )
+    watchdog.start()
     try:
         yield
+    except InstanceTimeoutError as exc:
+        if exc.args:
+            raise
+        raise InstanceTimeoutError(
+            f"instance {spec!r} exceeded its {seconds:g}s deadline"
+        ) from None
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, old_handler)
+        with lock:
+            cancel.set()
+            if fired and sys.exc_info()[0] is None:
+                # the async exception is scheduled but has not surfaced
+                # yet: withdraw it so it cannot detonate downstream
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                    ctypes.c_ulong(tid), None
+                )
+        watchdog.join(timeout=1.0)
 
 
 def _run_spec(

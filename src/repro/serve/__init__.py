@@ -14,25 +14,54 @@ service* under concurrent, partially-repeated traffic:
 * :class:`PlanService` — single-flight request coalescing in front of a
   bounded worker pool with per-request deadline/retry/backoff, the
   warm-start context active inside workers, and ``serve.*`` counters +
-  per-request spans through :mod:`repro.obs`.
+  per-request spans through :mod:`repro.obs`;
+* :mod:`repro.serve.resilience` — overload safety, configured with
+  :class:`ResilienceConfig` and off by default: bounded priority
+  admission (shedding with a typed :class:`OverloadedError` +
+  retry-after hint), per-(algorithm, schedule_family)
+  :class:`CircuitBreaker` state machines, and degraded-mode planning
+  (the certified contiguous 1F1B* fallback, ``served_from="degraded"``,
+  never cached into the primary store tier).
 
 Entry points: :func:`repro.api.serve` (facade constructor) and the
 ``repro serve`` CLI (a JSONL request loop on stdin).  Benchmarked by
 ``benchmarks/bench_serve.py`` (``BENCH_serve.json``): QPS under a Zipf
 traffic replay vs naive serial :func:`repro.api.plan`, with every served
-plan asserted bit-identical to a direct cold solve.
+plan asserted bit-identical to a direct cold solve; and soak-tested by
+``benchmarks/bench_chaos.py`` (``BENCH_chaos.json``): seeded fault
+storms with shed/degraded/recovery invariants checked before reporting.
 """
 
 from ..warmstart import canonical_value, request_fingerprint
+from .resilience import (
+    PRIORITIES,
+    AdmissionQueue,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    PoolExhaustedError,
+    ResilienceConfig,
+    priority_rank,
+)
 from .service import PlanRequest, PlanService, ServeReply
 from .store import PlanCache, PlanStore
 
 __all__ = [
+    "PRIORITIES",
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "OverloadedError",
     "PlanCache",
     "PlanRequest",
     "PlanService",
     "PlanStore",
+    "PoolExhaustedError",
+    "ResilienceConfig",
     "ServeReply",
     "canonical_value",
+    "priority_rank",
     "request_fingerprint",
 ]

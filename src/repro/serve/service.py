@@ -8,28 +8,42 @@ PlanCache`, a single-flight table of in-progress solves, and a bounded
       └─ fingerprint (repro.warmstart.request_fingerprint)
       └─ cache?   → serve ("memory" / "store")          serve.hits
       └─ inflight?→ await the one running solve         serve.coalesced
+      └─ admit    → bounded queue or shed               serve.shed/queued
       └─ solve    → worker pool, deadline + retries     serve.solves
                     (warm-start context active)
+         └─ breaker open / budget gone / solve dead
+            → certified degraded fallback               serve.degraded
 
-Every path returns the plan through the same deterministic
+Every non-degraded path returns the plan through the same deterministic
 :meth:`repro.api.PlanResult.to_json` payload, so cached, coalesced and
 fresh responses are bit-identical to a direct cold
 :func:`repro.api.plan` call (``benchmarks/bench_serve.py`` asserts this
-before reporting any number).
+before reporting any number).  Degraded responses are explicitly marked
+(``served_from="degraded"``, plan ``status="degraded"``), certified,
+and never written to the primary cache tiers.
 
 Resilience reuses the sweep harness machinery: the worker enforces the
 per-request deadline with :func:`repro.experiments.harness._deadline`
-(SIGALRM), crashes and timeouts retry with exponential backoff + jitter,
-and a hard worker death (``BrokenProcessPool``) rebuilds the pool.  The
-fault-injection sites ``serve_solve`` (service side, before a solve is
-dispatched) and ``serve_worker`` (inside the worker) make kill-and-
-restart scenarios deterministic in tests.
+(SIGALRM on the main thread, an async-exception watchdog elsewhere),
+crashes and timeouts retry with exponential backoff + seeded jitter,
+and a hard worker death (``BrokenProcessPool``) rebuilds the pool — at
+most ``max_pool_restarts`` consecutive times before the service answers
+with :class:`~repro.serve.resilience.PoolExhaustedError` instead of
+storming.  Overload behaviour (admission control, circuit breakers,
+degraded-mode planning) is configured with a
+:class:`~repro.serve.resilience.ResilienceConfig` and is off by
+default.  The fault-injection sites ``serve_solve`` (service side,
+keyed ``algorithm:family:fingerprint``) and ``serve_worker`` (inside
+the worker, keyed by fingerprint) make kill-and-restart scenarios
+deterministic in tests; ``repro.testing.ChaosSchedule`` composes them
+into reproducible soak scenarios.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+import os
 import random
 import time
 from collections import deque
@@ -37,14 +51,24 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from .. import obs, warmstart
 from ..core.chain import Chain
 from ..core.platform import Platform
 from ..experiments.harness import _deadline
 from ..testing import faults
-from ..warmstart import request_fingerprint
+from ..warmstart import LRU, request_fingerprint
+from .resilience import (
+    AdmissionQueue,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    PoolExhaustedError,
+    ResilienceConfig,
+    priority_rank,
+    solve_degraded,
+)
 from .store import PlanCache, PlanStore
 
 __all__ = ["PlanRequest", "PlanService", "ServeReply"]
@@ -52,12 +76,22 @@ __all__ = ["PlanRequest", "PlanService", "ServeReply"]
 
 @dataclass(frozen=True)
 class PlanRequest:
-    """One planning query: (chain, platform, algorithm, options)."""
+    """One planning query: (chain, platform, algorithm, options).
+
+    ``priority`` (class name from :data:`~repro.serve.resilience.
+    PRIORITIES` or an int rank, lower = more important) and
+    ``deadline_s`` (per-request wall-clock budget, overriding the
+    service's ``deadline_budget_s``) steer admission and degradation
+    only — they are *not* part of the request fingerprint, so the same
+    plan is shared across priorities.
+    """
 
     chain: Chain
     platform: Platform
     algorithm: str = "madpipe"
     opts: Mapping[str, Any] = field(default_factory=dict)
+    priority: "str | int" = "interactive"
+    deadline_s: float | None = None
 
     def fingerprint(self) -> str:
         """Canonical request identity (cached after the first call)."""
@@ -75,7 +109,9 @@ class ServeReply:
     """One answered request: the plan plus how it was served.
 
     ``served_from`` is ``"solve"`` (fresh), ``"memory"`` / ``"store"``
-    (cache tier) or ``"coalesced"`` (shared another request's solve).
+    (cache tier), ``"coalesced"`` (shared another request's solve) or
+    ``"degraded"`` (the certified contiguous fallback answered because
+    the full solve was short-circuited or failed).
     """
 
     result: Any  # repro.api.PlanResult
@@ -87,22 +123,37 @@ class ServeReply:
     def cached(self) -> bool:
         return self.served_from in ("memory", "store")
 
+    @property
+    def degraded(self) -> bool:
+        return self.served_from == "degraded"
+
 
 def _solve_in_worker(payload: tuple) -> tuple[dict, dict]:
     """Worker entry point (module-level picklable): rebuild the request,
     solve it under the warm-start context and the per-request deadline,
     and ship back ``(plan payload, counter snapshot)``."""
-    chain_dict, plat, algorithm, opts, timeout, warm, fingerprint = payload
+    (chain_dict, plat, algorithm, opts, timeout, warm, fingerprint,
+     faults_env) = payload
     from ..api import plan  # deferred: repro.api imports this package
 
+    # long-lived pool workers were spawned with the fault plan of *that*
+    # moment; sync to the service's current plan so a chaos phase
+    # installed mid-run reaches them deterministically (counter files in
+    # the shared state dir keep cross-process counts exact)
+    if faults_env:
+        os.environ[faults.ENV_VAR] = faults_env
+    else:
+        os.environ.pop(faults.ENV_VAR, None)
     chain = Chain.from_dict(chain_dict)
     platform = Platform(*plat)
-    faults.fire("serve_worker", key=fingerprint)
     registry = obs.MetricsRegistry()
     spec = (chain.name, platform.n_procs, platform.memory, platform.bandwidth,
             algorithm)
     with warmstart.activate(warm), obs.use_metrics(registry):
         with _deadline(timeout, spec):
+            # the fault fires inside the deadline, so a `sleep` fault
+            # models a hung solve that the deadline must interrupt
+            faults.fire("serve_worker", key=fingerprint)
             result = plan(chain, platform, algorithm=algorithm, **dict(opts))
     return result.to_json(), registry.snapshot()
 
@@ -127,16 +178,28 @@ class PlanService:
     ``max_workers`` bounds the solver pool: ``N >= 1`` dispatches cache
     misses to ``N`` worker processes (each keeps its own per-process
     warm-start database, exactly like sweep workers); ``0`` solves on
-    the event loop's default thread pool — no pickling, but the SIGALRM
-    deadline degrades to a no-op off the main thread.
+    the event loop's default thread pool — no pickling, with a watchdog
+    thread standing in for the SIGALRM deadline.
+
+    ``seed`` feeds the one :class:`random.Random` behind retry jitter
+    and breaker probe scheduling, so fault-injected replays are
+    bit-reproducible; ``clock`` (monotonic seconds) is injectable for
+    the same reason.  ``resilience`` configures admission control,
+    circuit breakers and degraded-mode planning (all off by default,
+    see :class:`~repro.serve.resilience.ResilienceConfig`).
 
     Observability: ``serve.*`` counters accumulate on :attr:`registry`
     (``requests``, ``hits`` + ``hits_memory``/``hits_store``,
     ``coalesced``, ``solves``, ``retries``, ``pool_restarts``,
-    ``errors``) alongside the merged solver counters from workers; a
+    ``errors``, and under resilience ``shed``/``queued``/``queue_hwm``,
+    ``breaker_trips``/``breaker_probes``/``breaker_closes``/
+    ``breaker_short_circuits``, ``deadline_exhausted``, ``degraded`` +
+    ``degraded_solves``/``degraded_hits``, ``pool_exhausted``)
+    alongside the merged solver counters from workers; a
     ``serve.request`` span is recorded per request when a trace is
     installed in the calling context.  :meth:`stats` adds queue depth
-    and p50/p95/max latency over a sliding window.
+    and p50/p95/max latency over a sliding window — queue wait happens
+    inside :meth:`handle`'s measurement, so percentiles include it.
     """
 
     def __init__(
@@ -148,22 +211,57 @@ class PlanService:
         instance_timeout: float | None = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.5,
+        backoff_cap_s: float = 30.0,
+        max_pool_restarts: int = 8,
         warm_start: bool = True,
         latency_window: int = 4096,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        resilience: ResilienceConfig | None = None,
     ):
         if max_workers < 0:
             raise ValueError("max_workers must be >= 0")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if backoff_cap_s <= 0:
+            raise ValueError("backoff_cap_s must be > 0")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
         self.cache = PlanCache(memory_entries, store)
         self.max_workers = max_workers
         self.instance_timeout = instance_timeout
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_pool_restarts = max_pool_restarts
         self.warm_start = warm_start
         self.registry = obs.MetricsRegistry()
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self._rng = random.Random(seed)
+        self._clock = clock
+        self._admission: AdmissionQueue | None = None
+        if self.resilience.admission_enabled:
+            self._admission = AdmissionQueue(
+                self.resilience.max_concurrency,
+                self.resilience.max_pending,
+                retry_after_s=self.resilience.retry_after_s,
+                registry=self.registry,
+            )
+        self._breaker: CircuitBreaker | None = None
+        if self.resilience.breaker_enabled:
+            self._breaker = CircuitBreaker(
+                self.resilience.breaker_threshold,
+                self.resilience.breaker_cooldown_s,
+                rng=self._rng,
+                clock=clock,
+                registry=self.registry,
+            )
+        # degraded answers live in their own memory-tier LRU, never the
+        # primary cache: a recovered service re-solves to full quality
+        self._degraded: LRU = LRU(memory_entries)
         self._inflight: dict[str, asyncio.Future] = {}
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_failures = 0  # consecutive BrokenProcessPool deaths
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._active_solves = 0
         self._peak_active = 0
@@ -177,6 +275,8 @@ class PlanService:
         platform: Platform,
         *,
         algorithm: str = "madpipe",
+        priority: "str | int" = "interactive",
+        deadline_s: float | None = None,
         **opts: Any,
     ) -> PlanRequest:
         """Build a :class:`PlanRequest` with :func:`repro.api.plan`'s
@@ -189,10 +289,14 @@ class PlanService:
         options, so a cached 1F1B plan is never served for a zero-bubble
         query (and vice versa).
         """
+        priority_rank(priority)  # validate eagerly, before the queue sees it
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
         opts = dict(opts)
         if opts.get("schedule_family") == "1f1b":
             del opts["schedule_family"]
-        return PlanRequest(chain, platform, algorithm, opts)
+        return PlanRequest(chain, platform, algorithm, opts,
+                           priority=priority, deadline_s=deadline_s)
 
     # -- serving ------------------------------------------------------------
 
@@ -202,6 +306,8 @@ class PlanService:
         platform: Platform | None = None,
         *,
         algorithm: str = "madpipe",
+        priority: "str | int" = "interactive",
+        deadline_s: float | None = None,
         **opts: Any,
     ):
         """Answer one request and return its :class:`repro.api.PlanResult`.
@@ -215,7 +321,9 @@ class PlanService:
         else:
             if platform is None:
                 raise TypeError("submit(chain, platform, ...) needs a platform")
-            request = self.request(chain, platform, algorithm=algorithm, **opts)
+            request = self.request(chain, platform, algorithm=algorithm,
+                                   priority=priority, deadline_s=deadline_s,
+                                   **opts)
         reply = await self.handle(request)
         return reply.result
 
@@ -226,6 +334,7 @@ class PlanService:
         from ..api import PlanResult  # deferred: api imports this package
 
         t0 = time.perf_counter()
+        t0c = self._clock()  # deadline budgets run on the injectable clock
         fingerprint = request.fingerprint()
         self.registry.inc("serve.requests")
         with obs.span(
@@ -233,7 +342,7 @@ class PlanService:
             algorithm=request.algorithm,
             fingerprint=fingerprint[:12],
         ) as sp:
-            served_from, payload = await self._resolve(request, fingerprint)
+            served_from, payload = await self._resolve(request, fingerprint, t0c)
             sp.set(served_from=served_from)
         latency = time.perf_counter() - t0
         self._latencies.append(latency)
@@ -245,7 +354,7 @@ class PlanService:
         )
 
     async def _resolve(
-        self, request: PlanRequest, fingerprint: str
+        self, request: PlanRequest, fingerprint: str, t0c: float
     ) -> tuple[str, dict]:
         hit = self.cache.get(fingerprint)
         if hit is not None:
@@ -257,12 +366,16 @@ class PlanService:
         if shared is not None:
             # single flight: identical concurrent queries share one solve
             self.registry.inc("serve.coalesced")
-            return "coalesced", await asyncio.shield(shared)
+            kind, payload = await asyncio.shield(shared)
+            if kind == "degraded":
+                self.registry.inc("serve.degraded")
+                return "degraded", payload
+            return "coalesced", payload
         loop = asyncio.get_running_loop()
         flight: asyncio.Future = loop.create_future()
         self._inflight[fingerprint] = flight
         try:
-            payload = await self._solve(request, fingerprint)
+            kind, payload = await self._admit_and_solve(request, fingerprint, t0c)
         except BaseException as exc:
             if not flight.done():
                 flight.set_exception(exc)
@@ -270,15 +383,79 @@ class PlanService:
             raise
         else:
             if not flight.done():
-                flight.set_result(payload)
-            self.cache.put(fingerprint, payload)
-            self.registry.inc("serve.solves")
-            return "solve", payload
+                flight.set_result((kind, payload))
+            if kind == "degraded":
+                self._degraded.put(fingerprint, payload)
+                self.registry.inc("serve.degraded")
+            else:
+                self.cache.put(fingerprint, payload)
+                self.registry.inc("serve.solves")
+            return kind, payload
         finally:
             self._inflight.pop(fingerprint, None)
 
-    async def _solve(self, request: PlanRequest, fingerprint: str) -> dict:
-        faults.fire("serve_solve", key=fingerprint)
+    async def _admit_and_solve(
+        self, request: PlanRequest, fingerprint: str, t0c: float
+    ) -> tuple[str, dict]:
+        """Hold an admission slot (when enabled) around the guarded solve."""
+        if self._admission is None:
+            return await self._solve_guarded(request, fingerprint, t0c)
+        await self._admission.acquire(priority_rank(request.priority))
+        try:
+            return await self._solve_guarded(request, fingerprint, t0c)
+        finally:
+            self._admission.release()
+
+    def _breaker_key(self, request: PlanRequest) -> tuple[str, str]:
+        family = request.opts.get("schedule_family", "1f1b")
+        return (request.algorithm, family)
+
+    async def _solve_guarded(
+        self, request: PlanRequest, fingerprint: str, t0c: float
+    ) -> tuple[str, dict]:
+        """One guarded solve: budget check → breaker gate → solve,
+        degrading (or re-raising) on short-circuit or terminal failure."""
+        cfg = self.resilience
+        budget = request.deadline_s if request.deadline_s is not None \
+            else cfg.deadline_budget_s
+        deadline_at = None if budget is None else t0c + budget
+        if deadline_at is not None and self._clock() >= deadline_at:
+            self.registry.inc("serve.deadline_exhausted")
+            return await self._degrade(request, fingerprint, DeadlineExceededError(
+                f"deadline budget {budget:g}s exhausted before the solve "
+                f"could start (request {fingerprint[:12]})"
+            ))
+        key = self._breaker_key(request)
+        if self._breaker is not None and self._breaker.allow(key) == "open":
+            return await self._degrade(request, fingerprint, CircuitOpenError(
+                f"circuit open for {key[0]}:{key[1]} "
+                f"(request {fingerprint[:12]})"
+            ))
+        try:
+            payload = await self._solve(request, fingerprint, deadline_at)
+        except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            if self._breaker is not None:
+                self._breaker.record_failure(key)
+            return await self._degrade(request, fingerprint, exc)
+        else:
+            if self._breaker is not None:
+                self._breaker.record_success(key)
+            return "solve", payload
+
+    async def _degrade(
+        self, request: PlanRequest, fingerprint: str, cause: BaseException
+    ) -> tuple[str, dict]:
+        """Answer with the certified contiguous fallback plan — or, with
+        degraded-mode planning disabled, surface ``cause`` unchanged."""
+        cfg = self.resilience
+        if not cfg.degraded_fallback:
+            raise cause
+        hit = self._degraded.hit(fingerprint)
+        if hit is not None:
+            self.registry.inc("serve.degraded_hits")
+            return "degraded", hit
         payload = (
             request.chain.to_dict(),
             (
@@ -288,17 +465,63 @@ class PlanService:
             ),
             request.algorithm,
             dict(request.opts),
-            self.instance_timeout,
+            cfg.degraded_timeout_s,
             self.warm_start,
             fingerprint,
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            # always in-process (thread pool): the fallback solve is the
+            # cheap contiguous restriction, and the worker pool may be
+            # exactly what is broken right now
+            plan_json, counts = await loop.run_in_executor(
+                None, solve_degraded, payload
+            )
+        except (KeyboardInterrupt, SystemExit, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            self.registry.inc("serve.errors")
+            raise cause from exc
+        self.registry.merge(counts)
+        self.registry.inc("serve.degraded_solves")
+        return "degraded", plan_json
+
+    async def _solve(
+        self,
+        request: PlanRequest,
+        fingerprint: str,
+        deadline_at: float | None = None,
+    ) -> dict:
+        key = self._breaker_key(request)
+        faults.fire("serve_solve", key=f"{key[0]}:{key[1]}:{fingerprint}")
+        chain_dict = request.chain.to_dict()
+        plat = (
+            request.platform.n_procs,
+            request.platform.memory,
+            request.platform.bandwidth,
         )
         loop = asyncio.get_running_loop()
         last: BaseException | None = None
         for attempt in range(self.max_retries + 1):
             if attempt:
                 self.registry.inc("serve.retries")
-                delay = min(self.retry_backoff_s * 2 ** (attempt - 1), 30.0)
-                await asyncio.sleep(delay * (1.0 + 0.25 * random.random()))
+                delay = min(
+                    self.retry_backoff_s * 2 ** (attempt - 1), self.backoff_cap_s
+                )
+                await asyncio.sleep(delay * (1.0 + 0.25 * self._rng.random()))
+            timeout = self.instance_timeout
+            if deadline_at is not None:
+                remaining = deadline_at - self._clock()
+                if remaining <= 0:
+                    last = DeadlineExceededError(
+                        f"deadline budget exhausted after {attempt} attempt(s) "
+                        f"(request {fingerprint[:12]})"
+                    )
+                    break
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            payload = (chain_dict, plat, request.algorithm, dict(request.opts),
+                       timeout, self.warm_start, fingerprint,
+                       os.environ.get(faults.ENV_VAR))
             self._active_solves += 1
             self._peak_active = max(self._peak_active, self._active_solves)
             try:
@@ -309,13 +532,23 @@ class PlanService:
                 raise
             except BrokenProcessPool as exc:
                 # a worker died hard (SIGKILL/os._exit): rebuild the pool
-                # and charge one attempt, like the sweep harness
+                # and charge one attempt, like the sweep harness — but cap
+                # consecutive rebuilds so a flapping pool cannot storm
                 last = exc
                 self.registry.inc("serve.pool_restarts")
+                self._pool_failures += 1
                 self._shutdown_pool()
+                if self._pool_failures > self.max_pool_restarts:
+                    self.registry.inc("serve.pool_exhausted")
+                    last = PoolExhaustedError(
+                        f"worker pool died {self._pool_failures} consecutive "
+                        f"times (max_pool_restarts={self.max_pool_restarts})"
+                    )
+                    break
             except Exception as exc:
                 last = exc
             else:
+                self._pool_failures = 0
                 self.registry.merge(counts)
                 return plan_json
             finally:
@@ -341,13 +574,16 @@ class PlanService:
     # -- lifecycle / introspection -------------------------------------------
 
     def stats(self) -> dict:
-        """Counters, queue depth and latency percentiles (JSON-ready)."""
+        """Counters, queue depths and latency percentiles (JSON-ready)."""
         lat = sorted(self._latencies)
         return {
             "counters": self.registry.snapshot(),
             "cached_plans": len(self.cache),
+            "degraded_plans": len(self._degraded),
             "inflight": len(self._inflight),
+            "queue_depth": self._admission.depth if self._admission else 0,
             "queue_peak": self._peak_active,
+            "breakers": self._breaker.snapshot() if self._breaker else {},
             "latency_ms": {
                 "count": len(lat),
                 "p50": _percentile(lat, 0.50) * 1e3,

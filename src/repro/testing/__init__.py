@@ -1,5 +1,18 @@
-"""Test-support utilities shipped with the package (fault injection)."""
+"""Test-support utilities shipped with the package: deterministic fault
+injection (:mod:`repro.testing.faults`) and seeded chaos scheduling for
+the plan service (:mod:`repro.testing.chaos`)."""
 
+from .chaos import ChaosPhase, ChaosRequest, ChaosSchedule
 from .faults import Fault, FaultInjected, active, clear, fire, install
 
-__all__ = ["Fault", "FaultInjected", "active", "clear", "fire", "install"]
+__all__ = [
+    "ChaosPhase",
+    "ChaosRequest",
+    "ChaosSchedule",
+    "Fault",
+    "FaultInjected",
+    "active",
+    "clear",
+    "fire",
+    "install",
+]

@@ -31,10 +31,15 @@ site               where                                      actions
                    keyed by the plan's source label
 ``serve_solve``    plan service, before a cache-missed        raise, exit, sleep
                    request is dispatched to the worker
-                   pool, keyed by the request fingerprint
-``serve_worker``   inside a plan-service worker, before       raise, exit, sleep
-                   the solve, keyed by the request
-                   fingerprint
+                   pool, keyed
+                   ``algorithm:family:fingerprint`` so a
+                   chaos schedule can storm one
+                   (algorithm, schedule_family) breaker
+                   key without knowing fingerprints
+``serve_worker``   inside a plan-service worker (within       raise, exit, sleep
+                   the solve deadline, so ``sleep``
+                   models a hung solve), keyed by the
+                   request fingerprint
 ``ingest_file``    trace ingestion, once per trace file,      raise, exit, sleep
                    keyed by the file path
 ``ingest_record``  trace ingestion, per decoded record,       fail

@@ -374,6 +374,33 @@ class TestKillAndRestart:
         assert stats["counters"]["serve.retries"] == 1
 
     @pytest.mark.faultinject
+    def test_pool_restart_cap(self, tmp_path, plat):
+        # the pool dies on *every* dispatch: consecutive rebuilds are
+        # capped and surfaced as a typed error instead of a restart storm
+        # that burns the whole retry budget re-spawning doomed workers
+        chain = toy()
+        faults.install(
+            [Fault(site="serve_worker", action="exit", times=-1)],
+            tmp_path / "faults",
+        )
+
+        async def scenario():
+            async with make_service(
+                tmp_path, max_workers=1, max_retries=5, retry_backoff_s=0.01,
+                max_pool_restarts=1,
+            ) as service:
+                with pytest.raises(api.PoolExhaustedError):
+                    await service.handle(
+                        service.request(chain, plat, **PLAN_OPTS)
+                    )
+                return service.stats()
+
+        stats = run(scenario())
+        assert stats["counters"]["serve.pool_restarts"] == 2
+        assert stats["counters"]["serve.pool_exhausted"] == 1
+        assert stats["counters"]["serve.errors"] == 1
+
+    @pytest.mark.faultinject
     def test_transient_worker_crash_retried(self, tmp_path, plat):
         chain = toy(5)
         faults.install(
